@@ -1,0 +1,198 @@
+// Command ruleexec runs a rule set against a database: it executes a
+// user SQL script (building the initial transition of Section 2), runs
+// rule processing at an assertion point, and prints the final database
+// state and the observable action stream.
+//
+// Usage:
+//
+//	ruleexec -schema schema.sdl -rules rules.srl -script ops.sql [flags]
+//
+// Flags:
+//
+//	-seed file       SQL script executed BEFORE the engine starts (its
+//	                 effects are committed state, not part of the
+//	                 triggering transition)
+//	-strategy s      first | last | random:<seed> — which eligible rule
+//	                 to consider when several are unordered
+//	-maxsteps n      rule-consideration budget (default 10000)
+//	-explore         instead of one run, exhaustively model-check every
+//	                 execution order and report the distinct final
+//	                 states and observable streams
+//
+// Exit status: 0 on success, 1 when rule processing hit the step budget
+// or the exploration found divergence, 2 on usage or load errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"activerules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ruleexec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	schemaPath := fs.String("schema", "", "schema definition file (required)")
+	rulesPath := fs.String("rules", "", "rule definition file (required)")
+	scriptPath := fs.String("script", "", "user operation script (required)")
+	seedPath := fs.String("seed", "", "database seed script (committed before the transition)")
+	strategy := fs.String("strategy", "first", "first | last | random:<seed>")
+	maxSteps := fs.Int("maxsteps", 10000, "rule consideration budget")
+	explore := fs.Bool("explore", false, "model-check all execution orders instead of one run")
+	traceFlag := fs.Bool("trace", false, "print each rule-processing step")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *schemaPath == "" || *rulesPath == "" || *scriptPath == "" {
+		fmt.Fprintln(stderr, "ruleexec: -schema, -rules, and -script are required")
+		fs.Usage()
+		return 2
+	}
+
+	sys, err := activerules.LoadFiles(*schemaPath, *rulesPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ruleexec:", err)
+		return 2
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(stderr, "ruleexec:", err)
+		return 2
+	}
+
+	db := sys.NewDB()
+	opts := activerules.EngineOptions{MaxSteps: *maxSteps, Strategy: strat}
+	if *traceFlag {
+		opts.Trace = func(ev activerules.TraceEvent) {
+			fmt.Fprintln(stdout, "trace:", ev.String())
+		}
+	}
+	eng := sys.NewEngine(db, opts)
+
+	if *seedPath != "" {
+		seedSrc, err := os.ReadFile(*seedPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "ruleexec:", err)
+			return 2
+		}
+		if _, err := eng.ExecUser(string(seedSrc)); err != nil {
+			fmt.Fprintln(stderr, "ruleexec: seed script:", err)
+			return 2
+		}
+		eng.Commit() // seed effects are committed state, not a transition
+	}
+
+	script, err := os.ReadFile(*scriptPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ruleexec:", err)
+		return 2
+	}
+	// A line consisting solely of "assert" (or "assert;") separates
+	// transitions: each segment is executed and then rule-processed at
+	// its own assertion point (Section 2's user-specified assertion
+	// points). The final segment is always followed by an assertion.
+	segments := splitAssertSegments(string(script))
+	if len(segments) == 0 {
+		fmt.Fprintln(stderr, "ruleexec: empty script")
+		return 2
+	}
+
+	for i, seg := range segments {
+		if strings.TrimSpace(seg) != "" {
+			if _, err := eng.ExecUser(seg); err != nil {
+				fmt.Fprintf(stderr, "ruleexec: user script (segment %d): %v\n", i+1, err)
+				return 2
+			}
+		}
+		if *explore && i == len(segments)-1 {
+			return runExplore(eng, stdout, stderr)
+		}
+		res, err := eng.Assert()
+		if errors.Is(err, activerules.ErrMaxSteps) {
+			fmt.Fprintf(stderr, "ruleexec: %v (considered %d rules)\n", err, res.Considered)
+			return 1
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "ruleexec:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "assertion point %d: considered=%d fired=%d rolledback=%v\n",
+			i+1, res.Considered, res.Fired, res.RolledBack)
+		for _, ev := range res.Observables {
+			fmt.Fprintln(stdout, "observable:", ev.String())
+		}
+	}
+	fmt.Fprintln(stdout, "final database:")
+	fmt.Fprint(stdout, eng.DB().String())
+	return 0
+}
+
+// splitAssertSegments splits the script on lines that contain only the
+// word "assert" (optionally with a trailing ';').
+func splitAssertSegments(src string) []string {
+	var segments []string
+	var cur strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSuffix(strings.TrimSpace(line), ";")
+		if strings.EqualFold(trimmed, "assert") {
+			segments = append(segments, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteString("\n")
+	}
+	segments = append(segments, cur.String())
+	return segments
+}
+
+func runExplore(eng *activerules.Engine, stdout, stderr io.Writer) int {
+	res, err := activerules.Explore(eng, activerules.ExploreOptions{TrackObservables: true})
+	if err != nil {
+		fmt.Fprintln(stderr, "ruleexec:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "exploration: states=%d branching=%v terminates=%v\n",
+		res.StatesExplored, res.Branching, res.Terminates())
+	fmt.Fprintf(stdout, "final database states: %d\n", len(res.FinalDBs))
+	fmt.Fprintf(stdout, "observable streams: %d\n", len(res.Streams))
+	for i, fp := range res.FinalFingerprints() {
+		fmt.Fprintf(stdout, "--- final state %d (schedule: %s) ---\n",
+			i+1, strings.Join(res.Witnesses[fp], ", "))
+		fmt.Fprint(stdout, res.FinalDBs[fp].String())
+	}
+	for i, s := range res.StreamRenderings() {
+		fmt.Fprintf(stdout, "--- stream %d ---\n%s", i+1, s)
+	}
+	if !res.Terminates() || len(res.FinalDBs) > 1 || len(res.Streams) > 1 {
+		return 1
+	}
+	return 0
+}
+
+func parseStrategy(s string) (activerules.Strategy, error) {
+	switch {
+	case s == "first":
+		return activerules.FirstByName(), nil
+	case s == "last":
+		return activerules.LastByName(), nil
+	case strings.HasPrefix(s, "random:"):
+		seed, err := strconv.ParseInt(strings.TrimPrefix(s, "random:"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad random seed in %q", s)
+		}
+		return activerules.SeededStrategy(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", s)
+	}
+}

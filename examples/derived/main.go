@@ -1,0 +1,131 @@
+// Derived: derived-data maintenance with observable alerting — the
+// Section 8 scenario. A materialized per-department headcount is kept in
+// sync by rules, and two alerting rules emit observable SELECTs when
+// thresholds are crossed. Unordered observable rules are flagged by the
+// observable-determinism analysis; adding an ordering repairs them, and
+// the execution-graph explorer confirms a single observable stream.
+//
+//	go run ./examples/derived
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activerules"
+)
+
+const schemaSrc = `
+table emp       (id int, dept int)
+table headcount (dept int, n int)
+table alerts    (dept int, msg string)
+`
+
+// The maintenance rules adjust the materialized count; the alert rules
+// observe it.
+const rulesBase = `
+create rule hc_add on emp
+when inserted
+then update headcount set n = n + (select count(*) from inserted i where i.dept = headcount.dept)
+     where dept in (select dept from inserted)
+
+create rule hc_sub on emp
+when deleted
+then update headcount set n = n - (select count(*) from deleted d where d.dept = headcount.dept)
+     where dept in (select dept from deleted)
+
+create rule alert_big on headcount
+when updated(n)
+if exists (select 1 from new-updated nu where nu.n >= 3)
+then select dept, n from new-updated where n >= 3 order by dept;
+     insert into alerts select dept, 'big' from new-updated where n >= 3
+
+create rule alert_empty on headcount
+when updated(n)
+if exists (select 1 from new-updated nu where nu.n <= 0)
+then select dept, n from new-updated where n <= 0 order by dept;
+     insert into alerts select dept, 'empty' from new-updated where n <= 0
+`
+
+func main() {
+	sys, err := activerules.Load(schemaSrc, rulesBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== observable-determinism analysis (unordered alerts) ===")
+	rep := sys.Analyze(nil)
+	fmt.Print(rep)
+	if rep.Observable.Guaranteed() {
+		log.Fatal("unordered observable rules must be flagged")
+	}
+
+	// Corollary 8.2 in action: the two observable rules must be ordered —
+	// and because the maintenance rules trigger the alerts (and so join
+	// Sig(Obs), Definition 7.1), the whole pipeline needs a total order:
+	// maintenance before alerting, additions before removals.
+	sys2, err := sys.WithOrdering(
+		[2]string{"hc_add", "hc_sub"},
+		[2]string{"hc_add", "alert_big"},
+		[2]string{"hc_add", "alert_empty"},
+		[2]string{"hc_sub", "alert_big"},
+		[2]string{"hc_sub", "alert_empty"},
+		[2]string{"alert_big", "alert_empty"},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== after ordering the pipeline ===")
+	rep2 := sys2.Analyze(nil)
+	fmt.Print(rep2)
+	if !rep2.Observable.Guaranteed() {
+		log.Fatal("ordered alerts should be observably deterministic")
+	}
+
+	// --- Execution: maintenance + a deterministic alert stream ---------
+	db := sys2.NewDB()
+	db.MustInsert("headcount", activerules.IntV(1), activerules.IntV(0))
+	db.MustInsert("headcount", activerules.IntV(2), activerules.IntV(0))
+	eng := sys2.NewEngine(db, activerules.EngineOptions{})
+
+	if _, err := eng.ExecUser("insert into emp values (10, 1), (11, 1), (12, 1), (13, 2)"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Assert()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== execution ===")
+	for _, ev := range res.Observables {
+		fmt.Println("observable:", ev.String())
+	}
+	var n1 int64
+	db.Table("headcount").Scan(func(tu *activerules.Tuple) bool {
+		if tu.Vals[0].I == 1 {
+			n1 = tu.Vals[1].I
+		}
+		return true
+	})
+	if n1 != 3 {
+		log.Fatalf("headcount(1) = %d, want 3", n1)
+	}
+	if db.Table("alerts").Len() != 1 {
+		log.Fatalf("alerts = %d, want 1 (dept 1 is big)", db.Table("alerts").Len())
+	}
+
+	// Exhaustively confirm the single observable stream.
+	eng2 := sys2.NewEngine(db.Clone(), activerules.EngineOptions{})
+	if _, err := eng2.ExecUser("delete from emp where dept = 1"); err != nil {
+		log.Fatal(err)
+	}
+	xres, err := activerules.Explore(eng2, activerules.ExploreOptions{TrackObservables: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exploration: final-states=%d observable-streams=%d\n",
+		len(xres.FinalDBs), len(xres.Streams))
+	if !xres.ObservablyDeterministic() {
+		log.Fatal("ordered alerts must produce one stream")
+	}
+	fmt.Println("derived OK")
+}

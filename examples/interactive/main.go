@@ -1,0 +1,140 @@
+// Interactive demonstrates the Section 6.4 development loop in full: a
+// rule set is analyzed, each reported violation is repaired with the
+// analyzer's own suggestions (certify a commutative pair or order a
+// conflicting one), and the analysis is repeated until confluence is
+// guaranteed. It also shows the paper's warning in action: adding an
+// ordering can make NEW violations appear elsewhere ("a source of
+// non-confluence can appear to move around"), which is why the loop is
+// iterative.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activerules"
+)
+
+const schemaSrc = `
+table orders  (id int, qty int, status string)
+table stock   (item int, qty int)
+table pending (id int, item int)
+`
+
+// A small order-processing rule set with two latent problems:
+//
+//   - reserve and restock both update stock.qty (condition 5) and are
+//     unordered;
+//   - approve triggers queue (insert into pending), and queue conflicts
+//     with cleanup (insert vs delete on pending, condition 4) — but
+//     cleanup's delete condition (status cancelled) never matches
+//     queue's inserts (status approved), the paper's example of a pair
+//     that is safe to certify.
+const rulesSrc = `
+create rule approve on orders
+when inserted
+then update orders set status = 'approved' where status = 'new'
+
+create rule queue on orders
+when updated(status)
+then insert into pending select o.id, o.qty from orders o where o.status = 'approved'
+     and o.id not in (select id from pending)
+
+create rule cleanup on orders
+when updated(status)
+then delete from pending where id in (select id from orders where status = 'cancelled')
+
+create rule reserve on orders
+when inserted
+then update stock set qty = qty - 1 where item in (select qty from inserted)
+
+create rule restock on stock
+when updated(qty)
+if exists (select 1 from new-updated nu where nu.qty < 0)
+then update stock set qty = 0 where qty < 0
+`
+
+func main() {
+	sys, err := activerules.Load(schemaSrc, rulesSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := activerules.NewCertification()
+	// The self-repairing rules cannot sustain their cycles: approve only
+	// moves 'new' -> 'approved', restock only clamps negatives upward.
+	// The user verifies and discharges them up front (Section 5).
+	cert.DischargeRule("approve").DischargeRule("restock").DischargeRule("queue").DischargeRule("cleanup")
+
+	for round := 1; ; round++ {
+		rep := sys.Analyze(cert)
+		fmt.Printf("=== round %d ===\n", round)
+		fmt.Print(rep)
+		if rep.Confluence.Guaranteed {
+			fmt.Printf("confluence reached after %d round(s)\n", round)
+			break
+		}
+		if round > 10 {
+			log.Fatal("interactive loop did not converge")
+		}
+		if len(rep.Confluence.Violations) == 0 {
+			log.Fatal("not confluent but no violations — termination gap")
+		}
+		v := rep.Confluence.Violations[0]
+		fmt.Printf(">>> repairing: %s vs %s\n", v.CulpritA, v.CulpritB)
+		if certifiable(v) {
+			// Approach 1: the culprits actually commute; certify.
+			fmt.Printf(">>> user certifies: %s and %s commute\n", v.CulpritA, v.CulpritB)
+			cert.CertifyCommutes(v.CulpritA, v.CulpritB)
+			continue
+		}
+		// Approach 2: order the analyzed pair.
+		fmt.Printf(">>> user orders: %s precedes %s\n", v.PairI, v.PairJ)
+		sys, err = sys.WithOrdering([2]string{v.PairI, v.PairJ})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Sanity-run the repaired system.
+	db := sys.NewDB()
+	db.MustInsert("stock", activerules.IntV(5), activerules.IntV(1))
+	eng := sys.NewEngine(db, activerules.EngineOptions{})
+	if _, err := eng.ExecUser("insert into orders values (1, 5, 'new')"); err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Assert()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("execution: considered=%d fired=%d\n", res.Considered, res.Fired)
+	fmt.Print(db.String())
+
+	// The same loop, fully automated: AutoRepair applies Approach 2
+	// (orderings) until the Confluence Requirement holds. Certifications
+	// still come from the user — pass the same ones.
+	fresh, err := activerules.Load(schemaSrc, rulesSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := fresh.Analyzer(cert).AutoRepair(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auto-repair: %d ordering(s) in %d round(s): %v\n",
+		len(plan.Orderings), plan.Rounds, plan.Orderings)
+	if !plan.Succeeded() {
+		log.Fatal("auto-repair should converge like the manual loop")
+	}
+	fmt.Println("interactive OK")
+}
+
+// certifiable encodes this application's domain knowledge: the
+// queue/cleanup insert-vs-delete conflict is safe (the paper's first
+// refinement example — inserted approved orders never satisfy the
+// cancelled-delete condition). Everything else needs an ordering.
+func certifiable(v activerules.Violation) bool {
+	a, b := v.CulpritA, v.CulpritB
+	return (a == "queue" && b == "cleanup") || (a == "cleanup" && b == "queue")
+}

@@ -1,0 +1,76 @@
+// Quickstart: define a small rule set, run all four static analyses,
+// then execute the rules against a database and watch the cascade.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activerules"
+)
+
+const schemaSrc = `
+table account (id int, owner string, balance float)
+table audit   (id int, owner string)
+table holds   (id int, acct int)
+`
+
+// Three rules: audit new accounts, place holds on overdrawn accounts,
+// and purge holds when accounts disappear.
+const rulesSrc = `
+create rule r_audit on account
+when inserted
+then insert into audit select id, owner from inserted
+
+create rule r_hold on account
+when updated(balance)
+if exists (select 1 from new-updated nu where nu.balance < 0)
+then insert into holds select nu.id, nu.id from new-updated nu where nu.balance < 0
+
+create rule r_purge on account
+when deleted
+then delete from holds where acct in (select id from deleted)
+`
+
+func main() {
+	sys, err := activerules.Load(schemaSrc, rulesSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Static analysis -------------------------------------------------
+	rep := sys.Analyze(nil)
+	fmt.Println("=== static analysis ===")
+	fmt.Print(rep)
+
+	// --- Execution --------------------------------------------------------
+	fmt.Println("=== execution ===")
+	db := sys.NewDB()
+	eng := sys.NewEngine(db, activerules.EngineOptions{})
+
+	steps := []string{
+		"insert into account values (1, 'ann', 100.0), (2, 'bob', 20.0)",
+		"update account set balance = balance - 75.0", // bob overdraws
+		"delete from account where id = 2",
+	}
+	for _, op := range steps {
+		if _, err := eng.ExecUser(op); err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Assert()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s -> considered=%d fired=%d\n", op, res.Considered, res.Fired)
+	}
+
+	fmt.Println("\nfinal database:")
+	fmt.Print(db.String())
+
+	if db.Table("audit").Len() != 2 || db.Table("holds").Len() != 0 {
+		log.Fatal("unexpected final state")
+	}
+	fmt.Println("quickstart OK")
+}

@@ -1,0 +1,41 @@
+package activerules_test
+
+// Every example application is run end-to-end as part of the test suite
+// (each main validates its own expectations and exits non-zero on
+// failure). Skipped in -short mode: each run compiles a binary.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := []struct {
+		dir  string
+		want string // substring the example prints on success
+	}{
+		{"./examples/quickstart", "quickstart OK"},
+		{"./examples/constraints", "constraints OK"},
+		{"./examples/powernet", "powernet OK"},
+		{"./examples/derived", "derived OK"},
+		{"./examples/interactive", "interactive OK"},
+		{"./examples/restricted", "restricted OK"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(strings.TrimPrefix(ex.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", ex.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", ex.dir, err, out)
+			}
+			if !strings.Contains(string(out), ex.want) {
+				t.Errorf("%s: success marker %q missing:\n%s", ex.dir, ex.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module activerules
+
+go 1.22

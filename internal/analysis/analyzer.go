@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// Analyzer runs the static analyses over one compiled rule set, honoring
+// a user Certification. Analyzers are cheap to construct; the triggering
+// graph is built lazily and cached.
+type Analyzer struct {
+	set  *rules.Set
+	cert *Certification
+	view ruleView
+	tg   *TriggeringGraph
+
+	// noCond7 disables the masking refinement (condition 7), restoring
+	// the paper's original Lemma 6.1. Only the E9 ablation experiment
+	// sets it, to demonstrate that the refinement is necessary for
+	// soundness under exact net-effect semantics.
+	noCond7 bool
+
+	// commuteCache memoizes Commute results by rule-index pair. The
+	// Confluence Requirement re-checks the same pairs across many
+	// R1 × R2 expansions, and Sig's closure re-checks them across
+	// fixpoint iterations; an Analyzer's inputs (set, certifications,
+	// view) are fixed, so the verdicts never change. Lazily allocated.
+	commuteCache map[[2]int]commuteResult
+}
+
+type commuteResult struct {
+	ok      bool
+	reasons []NoncommuteReason
+}
+
+// ruleView abstracts the Performs and Reads sets so that observable-
+// determinism analysis (Section 8) can extend them with the fictional
+// Obs table without touching the rule set.
+type ruleView struct {
+	performs func(*rules.Rule) schema.OpSet
+	reads    func(*rules.Rule) schema.ColSet
+}
+
+func baseView() ruleView {
+	return ruleView{
+		performs: func(r *rules.Rule) schema.OpSet { return r.Performs() },
+		reads:    func(r *rules.Rule) schema.ColSet { return r.Reads() },
+	}
+}
+
+// New creates an analyzer for the rule set. cert may be nil (no
+// certifications).
+func New(set *rules.Set, cert *Certification) *Analyzer {
+	if cert == nil {
+		cert = NewCertification()
+	}
+	return &Analyzer{set: set, cert: cert, view: baseView()}
+}
+
+// Set returns the analyzed rule set.
+func (a *Analyzer) Set() *rules.Set { return a.set }
+
+// Certification returns the certification set in use.
+func (a *Analyzer) Certification() *Certification { return a.cert }
+
+// graph lazily builds the triggering graph. The graph depends only on
+// the base Triggered-By/Performs sets: the Obs extension adds only
+// (I, Obs) operations, and no rule is triggered by Obs, so the graph is
+// shared across views.
+func (a *Analyzer) graph() *TriggeringGraph {
+	if a.tg == nil {
+		a.tg = BuildTriggeringGraph(a.set)
+	}
+	return a.tg
+}
+
+// withView derives an analyzer sharing everything but the view.
+func (a *Analyzer) withView(v ruleView) *Analyzer {
+	return &Analyzer{set: a.set, cert: a.cert, view: v, tg: a.tg}
+}

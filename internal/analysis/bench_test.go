@@ -1,0 +1,188 @@
+package analysis
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the op-indexed triggering-graph build vs the naive quadratic one, and
+// the cost profile of the Definition 6.5 closure.
+
+import (
+	"fmt"
+	"testing"
+
+	"activerules/internal/ruledef"
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+	"activerules/internal/workload"
+)
+
+// thin aliases keep mustCompile readable.
+var (
+	schemaParse  = schema.Parse
+	ruledefParse = ruledef.Parse
+)
+
+// buildTriggeringGraphNaive is the quadratic construction (every rule
+// pair intersected), kept solely as the ablation baseline.
+func buildTriggeringGraphNaive(set *rules.Set) *TriggeringGraph {
+	g := &TriggeringGraph{set: set, adj: make([][]int, set.Len())}
+	for _, ri := range set.Rules() {
+		for _, rj := range set.Triggers(ri) {
+			g.adj[ri.Index()] = append(g.adj[ri.Index()], rj.Index())
+		}
+	}
+	return g
+}
+
+func benchWorkload(b *testing.B, n int) *workload.Generated {
+	b.Helper()
+	g, err := workload.Generate(workload.Config{
+		Seed: 3, Rules: n, Tables: n / 2,
+		UpdateFrac: 0.3, DeleteFrac: 0.15, ConditionFrac: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkAblationGraphBuild(b *testing.B) {
+	for _, n := range []int{64, 512, 2048} {
+		g := benchWorkload(b, n)
+		b.Run(fmt.Sprintf("indexed/rules=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = BuildTriggeringGraph(g.Set)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/rules=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = buildTriggeringGraphNaive(g.Set)
+			}
+		})
+	}
+}
+
+// TestNaiveGraphAgrees keeps the ablation baseline honest: both builds
+// must produce identical adjacency.
+func TestNaiveGraphAgrees(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := workload.MustGenerate(workload.Config{
+			Seed: seed, Rules: 20, Tables: 5,
+			UpdateFrac: 0.3, DeleteFrac: 0.2,
+		})
+		fast := BuildTriggeringGraph(g.Set)
+		slow := buildTriggeringGraphNaive(g.Set)
+		for _, ri := range g.Set.Rules() {
+			for _, rj := range g.Set.Rules() {
+				if fast.HasEdge(ri, rj) != slow.HasEdge(ri, rj) {
+					t.Fatalf("seed %d: edge (%s,%s) disagreement", seed, ri.Name, rj.Name)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBuildR1R2(b *testing.B) {
+	for _, prio := range []float64{0.1, 0.5} {
+		g, err := workload.Generate(workload.Config{
+			Seed: 5, Rules: 64, Tables: 8, Acyclic: true,
+			UpdateFrac: 0.3, PriorityDensity: prio,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := New(g.Set, nil)
+		pairs := g.Set.UnorderedPairs()
+		if len(pairs) == 0 {
+			continue
+		}
+		b.Run(fmt.Sprintf("prio=%.1f", prio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				r1, r2 := a.BuildR1R2(p[0], p[1])
+				_ = len(r1) + len(r2)
+			}
+		})
+	}
+}
+
+func BenchmarkSig(b *testing.B) {
+	g := benchWorkload(b, 128)
+	a := New(g.Set, nil)
+	tables := g.Schema.TableNames()[:2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sig(tables)
+	}
+}
+
+// BenchmarkIncremental measures the §9 incremental-analysis payoff: the
+// steady-state cost of re-analyzing after a one-partition edit, with and
+// without the cache. The workload is many independent partitions.
+func BenchmarkIncremental(b *testing.B) {
+	const groups = 24
+	schemaSrc := ""
+	rulesA, rulesB := "", ""
+	for i := 0; i < groups; i++ {
+		schemaSrc += fmt.Sprintf("table s%d (v int)\ntable t%d (v int)\n", i, i)
+		rulesA += fmt.Sprintf("create rule r%da on s%d when inserted then update t%d set v = 1\n\n", i, i, i)
+		rulesA += fmt.Sprintf("create rule r%db on s%d when inserted then update t%d set v = 2\nprecedes r%da\n\n", i, i, i, i)
+	}
+	// Version B edits only group 0's action constant.
+	rulesB = "create rule r0a on s0 when inserted then update t0 set v = 9\n\n" +
+		rulesA[len("create rule r0a on s0 when inserted then update t0 set v = 1\n\n"):]
+	setA := mustCompile(b, schemaSrc, rulesA)
+	setB := mustCompile(b, schemaSrc, rulesB)
+
+	b.Run("incremental", func(b *testing.B) {
+		inc := NewIncremental(nil)
+		inc.Analyze(setA)
+		sets := []*rules.Set{setB, setA}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := inc.Analyze(sets[i%2])
+			if res.Analyzed != 1 || res.Reused != groups-1 {
+				b.Fatalf("cache ineffective: analyzed=%d reused=%d", res.Analyzed, res.Reused)
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		sets := []*rules.Set{setB, setA}
+		for i := 0; i < b.N; i++ {
+			v := New(sets[i%2], nil).Confluence()
+			_ = v.Guaranteed
+		}
+	})
+}
+
+func mustCompile(b *testing.B, schemaSrc, rulesSrc string) *rules.Set {
+	b.Helper()
+	sch, err := schemaParse(schemaSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defs, err := ruledefParse(rulesSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := rules.NewSet(sch, defs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+func BenchmarkAutoRepair(b *testing.B) {
+	g, err := workload.Generate(workload.Config{
+		Seed: 7, Rules: 12, Tables: 6, Acyclic: true,
+		UpdateFrac: 0.4, DeleteFrac: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := New(g.Set, nil)
+		if _, err := a.AutoRepair(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// NoncommuteReason explains why a pair of rules may be noncommutative,
+// citing the condition number of Lemma 6.1 (1–5; condition 6 is the
+// symmetric closure, expressed here by From/To direction).
+type NoncommuteReason struct {
+	// Cond is the Lemma 6.1 condition number (1–5).
+	Cond int
+	// From and To are the rule names in the direction the condition
+	// fired: e.g. for condition 1, From can trigger To.
+	From, To string
+	// Detail names the operation or column involved.
+	Detail string
+}
+
+// String renders the reason for reports.
+func (nr NoncommuteReason) String() string {
+	var what string
+	switch nr.Cond {
+	case 1:
+		what = "can trigger"
+	case 2:
+		what = "can untrigger"
+	case 3:
+		what = "writes what is read by"
+	case 4:
+		what = "inserts into a table deleted/updated by"
+	case 5:
+		what = "updates a column also updated by"
+	case 7:
+		what = "inserts tuples whose later deletion/update would be masked in the pending transition of"
+	default:
+		what = fmt.Sprintf("condition %d against", nr.Cond)
+	}
+	return fmt.Sprintf("(%d) %s %s %s [%s]", nr.Cond, nr.From, what, nr.To, nr.Detail)
+}
+
+// Commute analyzes whether two rules commute (Lemma 6.1). A rule always
+// commutes with itself. For distinct rules, if any of conditions 1–5
+// holds in either direction the rules MAY be noncommutative and the
+// reasons are returned; otherwise they are guaranteed to commute. A
+// user certification (Section 6.1) overrides the conservative verdict.
+func (a *Analyzer) Commute(ri, rj *rules.Rule) (bool, []NoncommuteReason) {
+	if ri == rj {
+		return true, nil
+	}
+	key := [2]int{ri.Index(), rj.Index()}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	if res, hit := a.commuteCache[key]; hit {
+		return res.ok, res.reasons
+	}
+	ok, reasons := a.commuteUncached(ri, rj)
+	if a.commuteCache == nil {
+		a.commuteCache = make(map[[2]int]commuteResult)
+	}
+	a.commuteCache[key] = commuteResult{ok: ok, reasons: reasons}
+	return ok, reasons
+}
+
+func (a *Analyzer) commuteUncached(ri, rj *rules.Rule) (bool, []NoncommuteReason) {
+	if a.cert.Commutes(ri.Name, rj.Name) {
+		return true, nil
+	}
+	reasons := a.noncommuteOneWay(ri, rj)
+	reasons = append(reasons, a.noncommuteOneWay(rj, ri)...) // condition 6
+	return len(reasons) == 0, reasons
+}
+
+// noncommuteOneWay evaluates conditions 1–5 of Lemma 6.1 with the given
+// direction of ri and rj.
+func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
+	var out []NoncommuteReason
+	perfI := a.view.performs(ri)
+	perfJ := a.view.performs(rj)
+
+	// 1. rj ∈ Triggers(ri): ri can cause rj to become triggered.
+	for op := range perfI {
+		if rj.TriggeredBy().Contains(op) {
+			out = append(out, NoncommuteReason{Cond: 1, From: ri.Name, To: rj.Name, Detail: op.String()})
+			break
+		}
+	}
+
+	// 2. rj ∈ Can-Untrigger(Performs(ri)).
+	if a.set.CanBeUntriggeredBy(rj, ri) {
+		out = append(out, NoncommuteReason{Cond: 2, From: ri.Name, To: rj.Name,
+			Detail: "a deletion by " + ri.Name + " can undo " + rj.Name + "'s triggering changes"})
+	}
+
+	// 3. ri's operations can affect what rj reads.
+	readsJ := a.view.reads(rj)
+	for op := range perfI {
+		hit := false
+		var detail string
+		switch op.Kind {
+		case schema.OpUpdate:
+			if readsJ.Contains(schema.ColRef(op.Table, op.Column)) {
+				hit = true
+				detail = op.String() + " vs read of " + op.Table + "." + op.Column
+			}
+		case schema.OpInsert, schema.OpDelete:
+			for ref := range readsJ {
+				if ref.Table == op.Table {
+					hit = true
+					detail = op.String() + " vs read of " + ref.String()
+					break
+				}
+			}
+		}
+		if hit {
+			out = append(out, NoncommuteReason{Cond: 3, From: ri.Name, To: rj.Name, Detail: detail})
+			break
+		}
+	}
+
+	// 4. ri's insertions can affect what rj updates or deletes. (In SQL
+	// a table can be deleted from or updated without being read, which
+	// is why this is distinct from condition 3 — footnote 3.)
+	for op := range perfI {
+		if op.Kind != schema.OpInsert {
+			continue
+		}
+		hit := false
+		var detail string
+		for opJ := range perfJ {
+			if opJ.Table == op.Table && (opJ.Kind == schema.OpDelete || opJ.Kind == schema.OpUpdate) {
+				hit = true
+				detail = op.String() + " vs " + opJ.String()
+				break
+			}
+		}
+		if hit {
+			out = append(out, NoncommuteReason{Cond: 4, From: ri.Name, To: rj.Name, Detail: detail})
+			break
+		}
+	}
+
+	// 5. ri's updates can affect rj's updates of the same column.
+	for op := range perfI {
+		if op.Kind != schema.OpUpdate {
+			continue
+		}
+		if perfJ.Contains(op) {
+			out = append(out, NoncommuteReason{Cond: 5, From: ri.Name, To: rj.Name, Detail: op.String()})
+			break
+		}
+	}
+
+	if a.noCond7 {
+		return out
+	}
+
+	// 7. Masking (our refinement; not in the paper's Lemma 6.1). If ri
+	// inserts into rj's table and rj is triggered by deletions or
+	// updates on that table, the relative order of rj's consideration
+	// and ri's insert is visible later: a tuple inserted INSIDE rj's
+	// pending transition composes with a subsequent delete to nothing
+	// (net-effect rule 4) and with a subsequent update to an insertion
+	// (rule 3), masking a (D,t) or (U,t.c) that would have triggered rj
+	// had rj been considered after the insert. Exhaustive execution-graph
+	// exploration exhibits genuine divergence without this condition; see
+	// DESIGN.md ("Deviations").
+	for op := range perfI {
+		if op.Kind != schema.OpInsert {
+			continue
+		}
+		hit := false
+		var detail string
+		for trig := range rj.TriggeredBy() {
+			if trig.Table == op.Table && (trig.Kind == schema.OpDelete || trig.Kind == schema.OpUpdate) {
+				hit = true
+				detail = op.String() + " vs trigger " + trig.String()
+				break
+			}
+		}
+		if hit {
+			out = append(out, NoncommuteReason{Cond: 7, From: ri.Name, To: rj.Name, Detail: detail})
+			break
+		}
+	}
+	return out
+}
+
+// CommutativityMatrix reports, for every unordered index pair i < j,
+// whether the rules commute. Used by benchmarks and reports.
+func (a *Analyzer) CommutativityMatrix() [][]bool {
+	rs := a.set.Rules()
+	out := make([][]bool, len(rs))
+	for i := range rs {
+		out[i] = make([]bool, len(rs))
+		out[i][i] = true
+	}
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			ok, _ := a.Commute(rs[i], rs[j])
+			out[i][j] = ok
+			out[j][i] = ok
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// hasCond reports whether any reason cites the given Lemma 6.1 condition.
+func hasCond(reasons []NoncommuteReason, cond int) bool {
+	for _, r := range reasons {
+		if r.Cond == cond {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCommuteDisjointRules(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable a (v int)\ntable b (v int)", `
+create rule ra on t when inserted then insert into a values (1)
+create rule rb on t when inserted then insert into b values (1)
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ra"), set.Rule("rb"))
+	if !ok {
+		t.Errorf("disjoint writers should commute: %v", reasons)
+	}
+}
+
+func TestCommuteSelf(t *testing.T) {
+	a := compile(t, "table t (v int)", `
+create rule r on t when inserted then delete from t where v < 0
+`, nil)
+	r := a.Set().Rule("r")
+	if ok, _ := a.Commute(r, r); !ok {
+		t.Error("every rule commutes with itself")
+	}
+}
+
+func TestNoncommuteCond1Triggering(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule ra on t when inserted then insert into u values (1)
+create rule rb on u when inserted then insert into w values (1)
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ra"), set.Rule("rb"))
+	if ok {
+		t.Fatal("ra can trigger rb: may not commute")
+	}
+	if !hasCond(reasons, 1) {
+		t.Errorf("expected condition 1, got %v", reasons)
+	}
+}
+
+func TestNoncommuteCond2Untriggering(t *testing.T) {
+	// ra deletes from u; rb is triggered by inserts on u: ra can
+	// untrigger rb.
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule ra on t when inserted then delete from u where v > 0
+create rule rb on u when inserted then insert into w values (1)
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ra"), set.Rule("rb"))
+	if ok {
+		t.Fatal("ra can untrigger rb: may not commute")
+	}
+	if !hasCond(reasons, 2) {
+		t.Errorf("expected condition 2, got %v", reasons)
+	}
+}
+
+func TestNoncommuteCond3WriteVsRead(t *testing.T) {
+	// ra updates u.v; rb reads u.v in its condition.
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)\ntable x (v int)", `
+create rule ra on t when inserted then update u set v = 1
+create rule rb on t when inserted if exists (select 1 from u where u.v > 0) then insert into w values (1)
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ra"), set.Rule("rb"))
+	if ok {
+		t.Fatal("write vs read: may not commute")
+	}
+	if !hasCond(reasons, 3) {
+		t.Errorf("expected condition 3, got %v", reasons)
+	}
+	// Insert also conflicts with reads of any column of the table.
+	a2 := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule ra on t when inserted then insert into u values (1)
+create rule rb on t when inserted if exists (select 1 from u where u.v > 9) then insert into w values (1)
+`, nil)
+	set2 := a2.Set()
+	ok2, reasons2 := a2.Commute(set2.Rule("ra"), set2.Rule("rb"))
+	if ok2 || !hasCond(reasons2, 3) {
+		t.Errorf("insert vs read should raise condition 3: %v", reasons2)
+	}
+}
+
+func TestNoncommuteCond4InsertVsDelete(t *testing.T) {
+	// The paper's first refinement example: ri inserts into t, rj
+	// deletes from t (without reading it). Condition 4, distinct from 3.
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on trig when inserted then delete from t
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ri"), set.Rule("rj"))
+	if ok {
+		t.Fatal("insert vs delete: may not commute")
+	}
+	if !hasCond(reasons, 4) {
+		t.Errorf("expected condition 4, got %v", reasons)
+	}
+	if hasCond(reasons, 3) {
+		t.Errorf("no reads involved; condition 3 should not fire: %v", reasons)
+	}
+}
+
+func TestNoncommuteCond5UpdateSameColumn(t *testing.T) {
+	// The paper's second refinement example: both update t.v.
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1
+create rule rj on trig when inserted then update t set v = 2
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ri"), set.Rule("rj"))
+	if ok {
+		t.Fatal("same-column updates: may not commute")
+	}
+	if !hasCond(reasons, 5) {
+		t.Errorf("expected condition 5, got %v", reasons)
+	}
+}
+
+func TestCommuteDifferentColumns(t *testing.T) {
+	// Updates of different columns with no reads commute.
+	a := compile(t, "table trig (x int)\ntable t (a int, b int)", `
+create rule ri on trig when inserted then update t set a = 1
+create rule rj on trig when inserted then update t set b = 2
+`, nil)
+	set := a.Set()
+	if ok, reasons := a.Commute(set.Rule("ri"), set.Rule("rj")); !ok {
+		t.Errorf("different-column updates should commute: %v", reasons)
+	}
+}
+
+func TestCertificationOverridesLemma(t *testing.T) {
+	// Section 6.1: the user declares that an apparently noncommutative
+	// pair actually commutes (e.g. the inserted tuples never satisfy the
+	// delete condition).
+	cert := NewCertification().CertifyCommutes("ri", "RJ") // case-insensitive
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on trig when inserted then delete from t where v < 0
+`, cert)
+	set := a.Set()
+	if ok, _ := a.Commute(set.Rule("ri"), set.Rule("rj")); !ok {
+		t.Error("certification should make the pair commutative")
+	}
+	// Without it, condition 4 fires.
+	a2 := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on trig when inserted then delete from t where v < 0
+`, nil)
+	set2 := a2.Set()
+	if ok, _ := a2.Commute(set2.Rule("ri"), set2.Rule("rj")); ok {
+		t.Error("without certification the pair may not commute")
+	}
+}
+
+func TestSymmetricClosureCond6(t *testing.T) {
+	// Condition 6: conditions 1-5 with the roles reversed. rb triggers
+	// ra; querying (ra, rb) must still flag it.
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule ra on u when inserted then insert into w values (1)
+create rule rb on t when inserted then insert into u values (1)
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ra"), set.Rule("rb"))
+	if ok {
+		t.Fatal("rb triggers ra: may not commute in either query order")
+	}
+	found := false
+	for _, r := range reasons {
+		if r.Cond == 1 && r.From == "rb" && r.To == "ra" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected reversed condition 1 (rb -> ra): %v", reasons)
+	}
+}
+
+func TestNoncommuteCond7Masking(t *testing.T) {
+	// Our soundness refinement (see DESIGN.md "Deviations"): ri inserts
+	// into t; rj is triggered by deletions on t. Whether rj's
+	// consideration happens before or after ri's insert decides whether
+	// a later delete of the inserted tuple is visible to rj (it
+	// annihilates inside rj's pending transition if the insert is
+	// there too). The paper's conditions 1-6 all miss this.
+	a := compile(t, "table trig (x int)\ntable t (v int)\ntable log (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on t when deleted then insert into log values (1)
+`, nil)
+	set := a.Set()
+	ok, reasons := a.Commute(set.Rule("ri"), set.Rule("rj"))
+	if ok {
+		t.Fatal("insert-masking pair must not commute")
+	}
+	if !hasCond(reasons, 7) {
+		t.Errorf("expected condition 7, got %v", reasons)
+	}
+	for _, c := range []int{1, 2, 3, 4, 5} {
+		if hasCond(reasons, c) {
+			t.Errorf("paper condition %d should not fire here: %v", c, reasons)
+		}
+	}
+	// Same shape for updated-triggered rules.
+	a2 := compile(t, "table trig (x int)\ntable t (v int)\ntable log (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on t when updated(v) then insert into log values (1)
+`, nil)
+	set2 := a2.Set()
+	ok2, reasons2 := a2.Commute(set2.Rule("ri"), set2.Rule("rj"))
+	if ok2 || !hasCond(reasons2, 7) {
+		t.Errorf("update-masking pair: %v", reasons2)
+	}
+	// Inserted-triggered rules are NOT maskable (condition 1 covers the
+	// triggering interaction instead).
+	a3 := compile(t, "table trig (x int)\ntable t (v int)\ntable log (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on t when inserted then insert into log values (1)
+`, nil)
+	set3 := a3.Set()
+	_, reasons3 := a3.Commute(set3.Rule("ri"), set3.Rule("rj"))
+	if hasCond(reasons3, 7) {
+		t.Errorf("condition 7 should not fire for insert-triggered rj: %v", reasons3)
+	}
+	if !hasCond(reasons3, 1) {
+		t.Errorf("condition 1 should fire instead: %v", reasons3)
+	}
+}
+
+func TestCond7MaskingGroundTruth(t *testing.T) {
+	// Demonstrate that the masking divergence is real, not just
+	// conservative: without condition 7 the analyzer would declare this
+	// set confluent, yet two final states are reachable.
+	// sweeper deletes everything from t; whether rj sees the deletion of
+	// ri's inserted tuple depends on whether rj was considered between
+	// the insert and the delete.
+	a := compile(t, "table trig (x int)\ntable t (v int)\ntable log (v int)", `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on t when deleted then insert into log values (1)
+create rule sweep on t when inserted then delete from t
+`, nil)
+	v := a.Confluence()
+	if v.RequirementHolds {
+		t.Error("masking set must be flagged")
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1
+create rule rj on trig when inserted then update t set v = 2
+`, nil)
+	set := a.Set()
+	_, reasons := a.Commute(set.Rule("ri"), set.Rule("rj"))
+	if len(reasons) == 0 {
+		t.Fatal("expected reasons")
+	}
+	s := reasons[0].String()
+	if !strings.Contains(s, "ri") && !strings.Contains(s, "rj") {
+		t.Errorf("reason string unhelpful: %q", s)
+	}
+}
+
+func TestCommutativityMatrix(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable a (v int)\ntable b (v int)", `
+create rule ra on t when inserted then insert into a values (1)
+create rule rb on t when inserted then insert into b values (1)
+create rule rc on a when inserted then delete from b
+`, nil)
+	m := a.CommutativityMatrix()
+	if len(m) != 3 {
+		t.Fatalf("matrix size %d", len(m))
+	}
+	for i := range m {
+		if !m[i][i] {
+			t.Error("diagonal must be true")
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Error("matrix must be symmetric")
+			}
+		}
+	}
+	// ra triggers rc (inserts into a); rb conflicts with rc (insert b vs
+	// delete b); ra/rb commute.
+	if !m[0][1] {
+		t.Error("ra and rb should commute")
+	}
+	if m[0][2] || m[1][2] {
+		t.Error("rc should not commute with ra or rb")
+	}
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"activerules/internal/rules"
+)
+
+// Violation is one failure of the Confluence Requirement (Definition
+// 6.5): for the unordered pair (PairI, PairJ), the construction produced
+// sets R1 and R2 containing a pair (CulpritA ∈ R1, CulpritB ∈ R2) that
+// may not commute.
+type Violation struct {
+	PairI, PairJ string   // the unordered pair under analysis
+	R1, R2       []string // the constructed sets (rule names, sorted)
+	CulpritA     string   // noncommuting rule from R1
+	CulpritB     string   // noncommuting rule from R2
+	Reasons      []NoncommuteReason
+}
+
+// Suggestions returns the user actions of Section 6.4 that would address
+// this violation: certify commutativity of the culprits, or order the
+// analyzed pair. (The paper's third option — removing orderings — is
+// noted there to be useless and is not suggested.)
+func (v *Violation) Suggestions() []string {
+	out := []string{
+		fmt.Sprintf("certify that %s and %s actually commute", v.CulpritA, v.CulpritB),
+		fmt.Sprintf("order %s and %s with a precedes/follows clause", v.PairI, v.PairJ),
+	}
+	return out
+}
+
+// String renders the violation for reports.
+func (v *Violation) String() string {
+	s := fmt.Sprintf("unordered pair (%s, %s): %s (in R1) and %s (in R2) may not commute",
+		v.PairI, v.PairJ, v.CulpritA, v.CulpritB)
+	for _, r := range v.Reasons {
+		s += "\n    " + r.String()
+	}
+	return s
+}
+
+// ConfluenceVerdict is the outcome of the Section 6 analysis.
+type ConfluenceVerdict struct {
+	// Guaranteed reports confluence: the Confluence Requirement holds
+	// for every unordered pair AND termination is guaranteed
+	// (Theorem 6.7 requires both).
+	Guaranteed bool
+
+	// RequirementHolds reports that the Confluence Requirement alone
+	// holds (every pair check passed), regardless of termination.
+	RequirementHolds bool
+
+	// Termination is the embedded termination verdict used.
+	Termination *TerminationVerdict
+
+	// Violations lists every failed pair check, for the interactive
+	// process of Section 6.4.
+	Violations []Violation
+
+	// PairsChecked counts the unordered pairs analyzed.
+	PairsChecked int
+}
+
+// Confluence analyzes the full rule set for confluence (Theorem 6.7):
+// termination (Section 5) plus the Confluence Requirement (Definition
+// 6.5) for every unordered pair of rules (Observation 6.2 motivates
+// checking all of them).
+func (a *Analyzer) Confluence() *ConfluenceVerdict {
+	return a.confluenceOver(a.set.Rules(), a.Termination())
+}
+
+// confluenceOver checks the Confluence Requirement for every unordered
+// pair drawn from members, with the supplied termination verdict.
+func (a *Analyzer) confluenceOver(members []*rules.Rule, term *TerminationVerdict) *ConfluenceVerdict {
+	v := &ConfluenceVerdict{Termination: term}
+	for i, ri := range members {
+		for _, rj := range members[i+1:] {
+			if !a.set.Unordered(ri, rj) {
+				continue
+			}
+			v.PairsChecked++
+			if viol := a.checkPair(ri, rj); viol != nil {
+				v.Violations = append(v.Violations, *viol)
+			}
+		}
+	}
+	v.RequirementHolds = len(v.Violations) == 0
+	v.Guaranteed = v.RequirementHolds && term.Guaranteed
+	return v
+}
+
+// BuildR1R2 runs the mutually recursive construction of Definition 6.5
+// for an unordered pair (ri, rj):
+//
+//	R1 ← {ri};  R2 ← {rj}
+//	repeat until unchanged:
+//	  R1 ← R1 ∪ {r ∈ R | r ∈ Triggers(r1) for some r1 ∈ R1
+//	                     and r > r2 ∈ P for some r2 ∈ R2 and r ≠ rj}
+//	  R2 ← R2 ∪ {r ∈ R | r ∈ Triggers(r2) for some r2 ∈ R2
+//	                     and r > r1 ∈ P for some r1 ∈ R1 and r ≠ ri}
+//
+// The sets capture the rules that may be forced (by priorities) to run
+// between the two sides of the diamond of Figures 3–4.
+func (a *Analyzer) BuildR1R2(ri, rj *rules.Rule) (r1, r2 []*rules.Rule) {
+	n := a.set.Len()
+	in1 := make([]bool, n)
+	in2 := make([]bool, n)
+	in1[ri.Index()] = true
+	in2[rj.Index()] = true
+	g := a.graph()
+
+	grow := func(in []bool, other []bool, excluded int) bool {
+		changed := false
+		for _, r1cand := range a.set.Rules() {
+			if !in[r1cand.Index()] {
+				continue
+			}
+			for _, r := range g.Successors(r1cand) {
+				if in[r.Index()] || r.Index() == excluded {
+					continue
+				}
+				// r must have priority over some member of the other set.
+				for _, r2cand := range a.set.Rules() {
+					if other[r2cand.Index()] && a.set.Higher(r, r2cand) {
+						in[r.Index()] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		return changed
+	}
+	for {
+		c1 := grow(in1, in2, rj.Index())
+		c2 := grow(in2, in1, ri.Index())
+		if !c1 && !c2 {
+			break
+		}
+	}
+	for _, r := range a.set.Rules() {
+		if in1[r.Index()] {
+			r1 = append(r1, r)
+		}
+		if in2[r.Index()] {
+			r2 = append(r2, r)
+		}
+	}
+	return r1, r2
+}
+
+// checkPair verifies the Confluence Requirement for one unordered pair:
+// every rule of R1 must commute with every rule of R2. It returns the
+// first violation found (with the most informative culprits first: the
+// pair itself is checked before the expansions, mirroring the common
+// case noted under Corollary 6.8).
+func (a *Analyzer) checkPair(ri, rj *rules.Rule) *Violation {
+	r1, r2 := a.BuildR1R2(ri, rj)
+	// Check (ri, rj) first: the most common violation (Corollary 6.8).
+	ordered := make([]*rules.Rule, 0, len(r1))
+	ordered = append(ordered, ri)
+	for _, r := range r1 {
+		if r != ri {
+			ordered = append(ordered, r)
+		}
+	}
+	ordered2 := make([]*rules.Rule, 0, len(r2))
+	ordered2 = append(ordered2, rj)
+	for _, r := range r2 {
+		if r != rj {
+			ordered2 = append(ordered2, r)
+		}
+	}
+	for _, c1 := range ordered {
+		for _, c2 := range ordered2 {
+			if c1 == c2 {
+				continue // a rule commutes with itself
+			}
+			ok, reasons := a.Commute(c1, c2)
+			if ok {
+				continue
+			}
+			return &Violation{
+				PairI: ri.Name, PairJ: rj.Name,
+				R1: sortedNames(r1), R2: sortedNames(r2),
+				CulpritA: c1.Name, CulpritB: c2.Name,
+				Reasons: reasons,
+			}
+		}
+	}
+	return nil
+}
+
+func sortedNames(rs []*rules.Rule) []string {
+	out := rules.Names(rs)
+	sort.Strings(out)
+	return out
+}
+
+// CheckCorollaries verifies the necessary properties of Corollaries
+// 6.8–6.10 for a rule set found confluent, returning a list of
+// violations (empty when all hold). It is primarily a self-check used in
+// tests: if the analyzer declares confluence, these must all hold.
+func (a *Analyzer) CheckCorollaries(v *ConfluenceVerdict) []string {
+	if !v.Guaranteed {
+		return nil
+	}
+	var out []string
+	rs := a.set.Rules()
+	for i, ri := range rs {
+		for _, rj := range rs[i+1:] {
+			unordered := a.set.Unordered(ri, rj)
+			if unordered {
+				// Corollary 6.8: unordered rules must commute.
+				if ok, _ := a.Commute(ri, rj); !ok {
+					out = append(out, fmt.Sprintf("corollary 6.8: unordered %s, %s do not commute", ri.Name, rj.Name))
+				}
+			}
+			// Corollary 6.10: triggering pairs must be ordered.
+			if (a.set.CanTrigger(ri, rj) || a.set.CanTrigger(rj, ri)) &&
+				unordered && !a.cert.Commutes(ri.Name, rj.Name) {
+				out = append(out, fmt.Sprintf("corollary 6.10: %s may trigger %s but they are unordered", ri.Name, rj.Name))
+			}
+		}
+	}
+	return out
+}

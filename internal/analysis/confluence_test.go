@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfluenceGuaranteed(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable a (v int)\ntable b (v int)", `
+create rule ra on t when inserted then insert into a values (1)
+create rule rb on t when inserted then insert into b values (1)
+`, nil)
+	v := a.Confluence()
+	if !v.Guaranteed {
+		t.Fatalf("disjoint writers should be confluent: %v", v.Violations)
+	}
+	if v.PairsChecked != 1 {
+		t.Errorf("PairsChecked = %d, want 1", v.PairsChecked)
+	}
+	if got := a.CheckCorollaries(v); len(got) != 0 {
+		t.Errorf("corollaries violated: %v", got)
+	}
+}
+
+func TestConfluenceViolationOnPair(t *testing.T) {
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1
+create rule rj on trig when inserted then update t set v = 2
+`, nil)
+	v := a.Confluence()
+	if v.Guaranteed || v.RequirementHolds {
+		t.Fatal("racing updates must violate the requirement")
+	}
+	if len(v.Violations) != 1 {
+		t.Fatalf("violations = %d", len(v.Violations))
+	}
+	viol := v.Violations[0]
+	// The most common case (Corollary 6.8): the culprits are the pair
+	// itself.
+	if viol.CulpritA != "ri" || viol.CulpritB != "rj" {
+		t.Errorf("culprits = %s, %s", viol.CulpritA, viol.CulpritB)
+	}
+	sug := strings.Join(viol.Suggestions(), "; ")
+	if !strings.Contains(sug, "certify") || !strings.Contains(sug, "precedes/follows") {
+		t.Errorf("suggestions = %q", sug)
+	}
+}
+
+func TestOrderingRestoresRequirement(t *testing.T) {
+	// Section 6.4, Approach 2: add a priority between the conflicting
+	// pair. Once ordered, the pair is no longer subject to the
+	// requirement.
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1 precedes rj
+create rule rj on trig when inserted then update t set v = 2
+`, nil)
+	v := a.Confluence()
+	if !v.Guaranteed {
+		t.Errorf("ordered race should be confluent: %v", v.Violations)
+	}
+	if v.PairsChecked != 0 {
+		t.Errorf("no unordered pairs remain; checked = %d", v.PairsChecked)
+	}
+}
+
+func TestCertificationRestoresRequirement(t *testing.T) {
+	// Section 6.4, Approach 1: certify that the culprits actually
+	// commute (here: the inserted tuples never satisfy the delete
+	// condition — the paper's example 1).
+	src := `
+create rule ri on trig when inserted then insert into t values (1)
+create rule rj on trig when inserted then delete from t where v < 0
+`
+	a := compile(t, "table trig (x int)\ntable t (v int)", src, nil)
+	if a.Confluence().Guaranteed {
+		t.Fatal("without certification the set must not be accepted")
+	}
+	cert := NewCertification().CertifyCommutes("ri", "rj")
+	a2 := compile(t, "table trig (x int)\ntable t (v int)", src, cert)
+	if !a2.Confluence().Guaranteed {
+		t.Error("certified set should be confluent")
+	}
+}
+
+func TestR1R2PriorityExpansion(t *testing.T) {
+	// Figures 3-4: ri triggers r, and r has priority over rj, so r joins
+	// R1 and must commute with rj. Here r and rj race on b.v, so the
+	// violation's culprits are (r, rj) even though (ri, rj) commute.
+	a := compile(t, "table trig (x int)\ntable a (v int)\ntable b (v int)", `
+create rule ri on trig when inserted then insert into a values (1)
+create rule rj on trig when inserted then update b set v = 2
+create rule r on a when inserted then update b set v = 3
+precedes rj
+`, nil)
+	set := a.Set()
+	ri, rj := set.Rule("ri"), set.Rule("rj")
+	if ok, _ := a.Commute(ri, rj); !ok {
+		t.Fatal("ri and rj should commute directly")
+	}
+	r1, r2 := a.BuildR1R2(ri, rj)
+	if len(r1) != 2 || len(r2) != 1 {
+		t.Fatalf("R1 = %v, R2 = %v", ruleNames(r1), ruleNames(r2))
+	}
+	names := strings.Join(sortedNames(r1), ",")
+	if names != "r,ri" {
+		t.Errorf("R1 = %s, want r,ri", names)
+	}
+	v := a.Confluence()
+	if v.RequirementHolds {
+		t.Fatal("r vs rj must violate the requirement")
+	}
+	found := false
+	for _, viol := range v.Violations {
+		if (viol.CulpritA == "r" && viol.CulpritB == "rj") ||
+			(viol.CulpritA == "rj" && viol.CulpritB == "r") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected culprits (r, rj): %v", v.Violations)
+	}
+}
+
+func TestR1R2WithoutPriorityNoExpansion(t *testing.T) {
+	// Without the priority r > rj, r does not join R1 (Definition 6.5
+	// only adds triggered rules that are forced before the other side).
+	a := compile(t, "table trig (x int)\ntable a (v int)\ntable b (v int)", `
+create rule ri on trig when inserted then insert into a values (1)
+create rule rj on trig when inserted then update b set v = 2
+create rule r on a when inserted then update b set v = 3
+`, nil)
+	set := a.Set()
+	r1, r2 := a.BuildR1R2(set.Rule("ri"), set.Rule("rj"))
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Errorf("R1 = %v, R2 = %v; no expansion expected", ruleNames(r1), ruleNames(r2))
+	}
+}
+
+func TestR1R2ExcludesTheOtherPairMember(t *testing.T) {
+	// The construction's "r ≠ rj" side condition: even if ri triggers rj
+	// and rj has priority over something in R2, rj itself never joins R1.
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule ri on t when inserted then insert into u values (1)
+create rule rj on u when inserted then insert into w values (1)
+precedes rk
+create rule rk on t when inserted then delete from w
+`, nil)
+	set := a.Set()
+	// Pair (ri, rk): ri triggers rj, rj > rk (rk ∈ R2 side? rk is the
+	// pair member). rj would qualify for R1 except when rj = the other
+	// pair member — here it is not, so it joins.
+	r1, _ := a.BuildR1R2(set.Rule("ri"), set.Rule("rk"))
+	if strings.Join(sortedNames(r1), ",") != "ri,rj" {
+		t.Errorf("R1 = %v", sortedNames(r1))
+	}
+	// Pair (ri, rj): rj is the other member; R1 must stay {ri}.
+	r1b, _ := a.BuildR1R2(set.Rule("ri"), set.Rule("rj"))
+	if strings.Join(sortedNames(r1b), ",") != "ri" {
+		t.Errorf("R1 = %v; rj must be excluded", sortedNames(r1b))
+	}
+}
+
+func TestConfluenceRequiresTermination(t *testing.T) {
+	// A single self-triggering rule: no unordered pairs, so the
+	// requirement holds vacuously, but Theorem 6.7 still needs
+	// termination.
+	a := compile(t, "table t (v int)", `
+create rule r on t when inserted then insert into t values (1)
+`, nil)
+	v := a.Confluence()
+	if !v.RequirementHolds {
+		t.Error("no pairs: requirement holds vacuously")
+	}
+	if v.Guaranteed {
+		t.Error("nontermination must block the confluence guarantee")
+	}
+}
+
+func TestCorollary610TriggeringPairsOrdered(t *testing.T) {
+	// If the analyzer accepts a set, any pair where one rule may trigger
+	// the other must be ordered (or certified). Build an accepted set
+	// with a triggering pair that IS ordered.
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule ra on t when inserted then insert into u values (1) precedes rb
+create rule rb on u when inserted then insert into w values (1)
+`, nil)
+	v := a.Confluence()
+	if !v.Guaranteed {
+		t.Fatalf("ordered chain should be confluent: %v", v.Violations)
+	}
+	if got := a.CheckCorollaries(v); len(got) != 0 {
+		t.Errorf("corollaries violated: %v", got)
+	}
+}
+
+func TestConfluenceReportRendering(t *testing.T) {
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1
+create rule rj on trig when inserted then update t set v = 2
+`, nil)
+	out := ReportConfluence(a.Confluence())
+	for _, want := range []string{"may not be confluent", "violation 1", "certify", "precedes/follows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the triggering graph in Graphviz DOT format for the
+// interactive environment: nodes are rules (observable rules get a
+// double outline), solid edges are the Triggers relation, and rules on
+// cycles that survive discharges are highlighted. Dashed gray edges show
+// the direct priority orderings.
+func (g *TriggeringGraph) WriteDOT(w io.Writer, verdict *TerminationVerdict) error {
+	cyclic := map[string]bool{}
+	if verdict != nil {
+		for _, comp := range verdict.CyclicSCCs {
+			for _, r := range comp {
+				cyclic[r.Name] = true
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(w, "digraph triggering {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `  rankdir=LR;`)
+	fmt.Fprintln(w, `  node [shape=box, fontname="monospace"];`)
+	for _, r := range g.set.Rules() {
+		attrs := ""
+		if cyclic[r.Name] {
+			attrs += `, color=red, fontcolor=red`
+		}
+		if r.Observable() {
+			attrs += `, peripheries=2`
+		}
+		// Rule names are lowercase identifiers; emit the label directly
+		// so the DOT line-break escape \n survives.
+		fmt.Fprintf(w, "  %q [label=\"%s\\non %s\"%s];\n", r.Name, r.Name, r.Table, attrs)
+	}
+	for _, ri := range g.set.Rules() {
+		for _, rj := range g.Successors(ri) {
+			style := ""
+			if cyclic[ri.Name] && cyclic[rj.Name] {
+				style = ` [color=red]`
+			}
+			fmt.Fprintf(w, "  %q -> %q%s;\n", ri.Name, rj.Name, style)
+		}
+	}
+	// Direct priorities as dashed edges (transitive closure would be
+	// unreadable; recover direct edges from the authored clauses).
+	type edge struct{ hi, lo string }
+	seen := map[edge]bool{}
+	var edges []edge
+	add := func(hi, lo string) {
+		e := edge{hi, lo}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, r := range g.set.Rules() {
+		for _, lo := range r.Precedes {
+			add(r.Name, lo)
+		}
+		for _, hi := range r.Follows {
+			add(hi, r.Name)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].hi != edges[j].hi {
+			return edges[i].hi < edges[j].hi
+		}
+		return edges[i].lo < edges[j].lo
+	})
+	for _, e := range edges {
+		fmt.Fprintf(w, "  %q -> %q [style=dashed, color=gray, constraint=false];\n", e.hi, e.lo)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// DOT is WriteDOT into a string, for convenience.
+func (g *TriggeringGraph) DOT(verdict *TerminationVerdict) string {
+	var sb strings.Builder
+	_ = g.WriteDOT(&sb, verdict)
+	return sb.String()
+}

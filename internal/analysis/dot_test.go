@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable u (v int)", `
+create rule r1 on t when inserted then insert into u values (1) precedes r2
+create rule r2 on u when inserted then insert into t values (1)
+create rule watch on t when inserted then select v from inserted
+`, nil)
+	v := a.Termination()
+	out := a.graph().DOT(v)
+	for _, want := range []string{
+		"digraph triggering",
+		`"r1" [label="r1\non t", color=red, fontcolor=red]`,         // on the cycle
+		`"watch" [label="watch\non t", peripheries=2]`,              // observable
+		`"r1" -> "r2" [color=red]`,                                  // cycle edge
+		`"r1" -> "r2" [style=dashed, color=gray, constraint=false]`, // priority
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Without a verdict nothing is highlighted.
+	plain := a.graph().DOT(nil)
+	if strings.Contains(plain, "color=red") {
+		t.Error("no verdict: nothing should be red")
+	}
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"testing"
+
+	"activerules/internal/ruledef"
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// compile builds an analyzer from schema and rule sources.
+func compile(t *testing.T, schemaSrc, rulesSrc string, cert *Certification) *Analyzer {
+	t.Helper()
+	sch := schema.MustParse(schemaSrc)
+	defs, err := ruledef.Parse(rulesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := rules.NewSet(sch, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(set, cert)
+}
+
+// names extracts rule names in slice order.
+func ruleNames(rs []*rules.Rule) []string { return rules.Names(rs) }
+
+// rulesRule aliases rules.Rule for terser test code.
+type rulesRule = rules.Rule

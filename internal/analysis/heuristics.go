@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+	"activerules/internal/sqlmini"
+)
+
+// autoDischargeMonotonic implements the second special case of Section 5
+// automatically: "the action of some rule r on the cycle only performs a
+// monotonic update (e.g. increments values), guaranteeing that the
+// condition of some rule on the cycle eventually becomes false".
+//
+// The detector is deliberately syntactic and conservative. A rule r is
+// dischargeable when every statement of its action is an update of the
+// form
+//
+//	update t set c = c + k where ... and c < K ...    (k > 0)
+//	update t set c = c - k where ... and c > K ...    (k > 0)
+//
+// (the bound may also be <= / >=, and the increment may be written
+// k + c), and no other rule in r's component writes t.c or inserts into
+// t. Each firing then moves every affected row strictly toward the
+// bound, rows beyond the bound are never selected, and no one replenishes
+// the supply — so repeated consideration eventually has no effect and r
+// cannot sustain the cycle.
+func (a *Analyzer) autoDischargeMonotonic(sccs [][]*rules.Rule, already map[string]bool) []string {
+	var out []string
+	for _, comp := range sccs {
+		// Per-component write sets of OTHER rules, computed lazily.
+		for _, r := range comp {
+			if already[r.Name] {
+				continue
+			}
+			target, ok := monotonicAction(r)
+			if !ok {
+				continue
+			}
+			interfered := false
+			for _, other := range comp {
+				if other == r {
+					continue
+				}
+				for op := range a.view.performs(other) {
+					if op.Table != target.Table {
+						continue
+					}
+					if op.Kind == schema.OpInsert ||
+						(op.Kind == schema.OpUpdate && op.Column == target.Column) {
+						interfered = true
+						break
+					}
+				}
+				if interfered {
+					break
+				}
+			}
+			if !interfered {
+				out = append(out, r.Name)
+			}
+		}
+	}
+	return out
+}
+
+// monotonicAction reports whether every statement of r's action is a
+// bounded monotonic self-update of one common column, returning that
+// column.
+func monotonicAction(r *rules.Rule) (schema.ColumnRef, bool) {
+	var target schema.ColumnRef
+	for i, st := range r.Action {
+		ref, ok := monotonicUpdate(st)
+		if !ok {
+			return schema.ColumnRef{}, false
+		}
+		if i == 0 {
+			target = ref
+		} else if ref != target {
+			return schema.ColumnRef{}, false
+		}
+	}
+	return target, len(r.Action) > 0
+}
+
+// monotonicUpdate matches one statement against the bounded monotonic
+// update pattern.
+func monotonicUpdate(st sqlmini.Statement) (schema.ColumnRef, bool) {
+	up, ok := st.(*sqlmini.Update)
+	if !ok || len(up.Sets) != 1 || up.Where == nil {
+		return schema.ColumnRef{}, false
+	}
+	col := up.Sets[0].Column
+	increasing, ok := stepDirection(up.Sets[0].Expr, up.Table, col)
+	if !ok {
+		return schema.ColumnRef{}, false
+	}
+	if !hasApproachingBound(up.Where, up.Table, col, increasing) {
+		return schema.ColumnRef{}, false
+	}
+	return schema.ColRef(up.Table, col), true
+}
+
+// stepDirection matches "c + k" / "k + c" / "c - k" with positive
+// literal k and a self-reference to table.col, reporting the direction.
+func stepDirection(e sqlmini.Expr, table, col string) (increasing, ok bool) {
+	b, isBin := e.(*sqlmini.Binary)
+	if !isBin {
+		return false, false
+	}
+	selfRef := func(x sqlmini.Expr) bool {
+		c, isCol := x.(*sqlmini.ColRef)
+		return isCol && c.RTable == table && c.Column == col
+	}
+	posLit := func(x sqlmini.Expr) bool {
+		l, isLit := x.(*sqlmini.Literal)
+		return isLit && l.Val.IsNumeric() && l.Val.AsFloat() > 0
+	}
+	switch b.Op {
+	case sqlmini.OpAdd:
+		if selfRef(b.L) && posLit(b.R) || posLit(b.L) && selfRef(b.R) {
+			return true, true
+		}
+	case sqlmini.OpSub:
+		if selfRef(b.L) && posLit(b.R) {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// hasApproachingBound scans the conjuncts of a WHERE clause for a bound
+// the step approaches: c < K / c <= K for increments, c > K / c >= K for
+// decrements, with literal K.
+func hasApproachingBound(e sqlmini.Expr, table, col string, increasing bool) bool {
+	if b, ok := e.(*sqlmini.Binary); ok {
+		if b.Op == sqlmini.OpAnd {
+			return hasApproachingBound(b.L, table, col, increasing) ||
+				hasApproachingBound(b.R, table, col, increasing)
+		}
+		selfL := false
+		if c, isCol := b.L.(*sqlmini.ColRef); isCol && c.RTable == table && c.Column == col {
+			selfL = true
+		}
+		_, litR := b.R.(*sqlmini.Literal)
+		if selfL && litR {
+			if increasing && (b.Op == sqlmini.OpLt || b.Op == sqlmini.OpLe) {
+				return true
+			}
+			if !increasing && (b.Op == sqlmini.OpGt || b.Op == sqlmini.OpGe) {
+				return true
+			}
+		}
+	}
+	return false
+}

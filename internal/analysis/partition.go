@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"sort"
+
+	"activerules/internal/rules"
+)
+
+// Partition implements the coarse incremental-analysis scheme of Section
+// 9: rule applications are partitioned into groups such that, across
+// partitions, rules reference different sets of tables and have no
+// priority ordering. Rules in different partitions cannot affect each
+// other, so each partition can be analyzed separately and re-analyzed
+// only when one of its rules changes.
+//
+// Two rules share a partition when they touch a common table (read,
+// write, or trigger on it) or are related by priority; Partition returns
+// the connected components of that relation, each sorted by name, with
+// components ordered by their first rule's name.
+func (a *Analyzer) Partition() [][]*rules.Rule {
+	n := a.set.Len()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+
+	// Union rules touching the same table.
+	byTable := map[string]int{} // table -> representative rule index
+	touch := func(idx int, table string) {
+		if rep, ok := byTable[table]; ok {
+			union(idx, rep)
+		} else {
+			byTable[table] = idx
+		}
+	}
+	for _, r := range a.set.Rules() {
+		i := r.Index()
+		touch(i, r.Table)
+		for op := range a.view.performs(r) {
+			touch(i, op.Table)
+		}
+		for ref := range a.view.reads(r) {
+			touch(i, ref.Table)
+		}
+	}
+	// Union priority-related rules (direct or transitive — the closure
+	// makes direct edges sufficient, but using the closure is simplest).
+	for _, ri := range a.set.Rules() {
+		for _, rj := range a.set.Rules() {
+			if ri.Index() < rj.Index() && a.set.Ordered(ri, rj) {
+				union(ri.Index(), rj.Index())
+			}
+		}
+	}
+
+	groups := map[int][]*rules.Rule{}
+	for _, r := range a.set.Rules() {
+		root := find(r.Index())
+		groups[root] = append(groups[root], r)
+	}
+	out := make([][]*rules.Rule, 0, len(groups))
+	for _, g := range groups {
+		rules.SortRulesByName(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Name < out[j][0].Name })
+	return out
+}
+
+// PartitionedConfluence analyzes confluence per partition and combines
+// the verdicts: the rule set is confluent iff every partition is, since
+// rules in different partitions commute trivially (they share no tables)
+// and are never forced between each other by priorities. The per-
+// partition verdicts are returned alongside the combined one so that a
+// change to one partition only requires re-running its own analysis.
+func (a *Analyzer) PartitionedConfluence() (combined *ConfluenceVerdict, per []*ConfluenceVerdict) {
+	parts := a.Partition()
+	combined = &ConfluenceVerdict{RequirementHolds: true}
+	combined.Termination = a.Termination()
+	for _, part := range parts {
+		term := a.TerminationOf(part)
+		v := a.confluenceOver(part, term)
+		per = append(per, v)
+		combined.PairsChecked += v.PairsChecked
+		combined.Violations = append(combined.Violations, v.Violations...)
+		combined.RequirementHolds = combined.RequirementHolds && v.RequirementHolds
+	}
+	combined.Guaranteed = combined.RequirementHolds && combined.Termination.Guaranteed
+	return combined, per
+}

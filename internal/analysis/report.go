@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"activerules/internal/rules"
+)
+
+// ReportTermination renders a termination verdict for the interactive
+// environment (Section 5: notify the user of all cycles / strong
+// components).
+func ReportTermination(v *TerminationVerdict) string {
+	var sb strings.Builder
+	if v.Guaranteed {
+		sb.WriteString("TERMINATION: guaranteed (triggering graph is acyclic")
+		if len(v.AutoDischarged) > 0 || len(v.UserDischarged) > 0 {
+			sb.WriteString(" after discharges")
+		}
+		sb.WriteString(")\n")
+	} else {
+		sb.WriteString("TERMINATION: may not terminate\n")
+	}
+	if len(v.AutoDischarged) > 0 {
+		sb.WriteString("  auto-discharged (delete-only special case): " +
+			strings.Join(v.AutoDischarged, ", ") + "\n")
+	}
+	if len(v.UserDischarged) > 0 {
+		sb.WriteString("  user-discharged: " + strings.Join(v.UserDischarged, ", ") + "\n")
+	}
+	if edges := v.DischargedEdges; len(edges) > 0 {
+		parts := make([]string, len(edges))
+		for i, e := range edges {
+			parts[i] = e[0] + "->" + e[1]
+		}
+		sb.WriteString("  discharged edges: " + strings.Join(parts, ", ") + "\n")
+	}
+	for i, comp := range v.CyclicSCCs {
+		sb.WriteString(fmt.Sprintf("  cyclic component %d: {%s}\n", i+1, strings.Join(rules.Names(comp), ", ")))
+		if i < len(v.SampleCycles) {
+			names := rules.Names(v.SampleCycles[i])
+			sb.WriteString("    sample cycle: " + strings.Join(names, " -> ") + " -> " + names[0] + "\n")
+		}
+		sb.WriteString("    to guarantee termination, verify for some rule r on every cycle that\n")
+		sb.WriteString("    repeated consideration makes r's condition false or its action a no-op,\n")
+		sb.WriteString("    then discharge r.\n")
+	}
+	return sb.String()
+}
+
+// ReportConfluence renders a confluence verdict with the remediation
+// guidance of Section 6.4.
+func ReportConfluence(v *ConfluenceVerdict) string {
+	var sb strings.Builder
+	switch {
+	case v.Guaranteed:
+		sb.WriteString(fmt.Sprintf("CONFLUENCE: guaranteed (%d unordered pairs satisfy the Confluence Requirement)\n",
+			v.PairsChecked))
+	case v.RequirementHolds && !v.Termination.Guaranteed:
+		sb.WriteString("CONFLUENCE: requirement holds, but termination is not guaranteed (Theorem 6.7 needs both)\n")
+	default:
+		sb.WriteString(fmt.Sprintf("CONFLUENCE: may not be confluent (%d of %d pair checks failed)\n",
+			len(v.Violations), v.PairsChecked))
+	}
+	for i, viol := range v.Violations {
+		sb.WriteString(fmt.Sprintf("  violation %d: %s\n", i+1, indent(viol.String(), "  ")))
+		for _, s := range viol.Suggestions() {
+			sb.WriteString("    -> " + s + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// ReportPartialConfluence renders a partial-confluence verdict.
+func ReportPartialConfluence(v *PartialConfluenceVerdict) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("PARTIAL CONFLUENCE w.r.t. {%s}:\n", strings.Join(v.Tables, ", ")))
+	sb.WriteString(fmt.Sprintf("  Sig = {%s}\n", strings.Join(v.SigNames(), ", ")))
+	if v.Guaranteed() {
+		sb.WriteString("  guaranteed\n")
+	} else if !v.Confluence.Termination.Guaranteed {
+		sb.WriteString("  not guaranteed: Sig(T') is not guaranteed to terminate on its own\n")
+	} else {
+		sb.WriteString("  not guaranteed\n")
+	}
+	sb.WriteString(indent(ReportConfluence(v.Confluence), "  "))
+	return sb.String()
+}
+
+// ReportObservable renders an observable-determinism verdict.
+func ReportObservable(v *ObservableVerdict) string {
+	var sb strings.Builder
+	if v.Guaranteed() {
+		sb.WriteString("OBSERVABLE DETERMINISM: guaranteed\n")
+	} else {
+		sb.WriteString("OBSERVABLE DETERMINISM: may not be deterministic\n")
+	}
+	sb.WriteString("  observable rules: {" + strings.Join(v.ObservableRules, ", ") + "}\n")
+	sb.WriteString(fmt.Sprintf("  Sig(%s) = {%s}\n", v.ObsTable, strings.Join(v.Partial.SigNames(), ", ")))
+	if !v.Termination.Guaranteed {
+		sb.WriteString("  full rule set termination is not guaranteed (required by Theorem 8.1)\n")
+	}
+	for i, viol := range v.Violations() {
+		sb.WriteString(fmt.Sprintf("  violation %d: %s\n", i+1, indent(viol.String(), "  ")))
+		for _, s := range viol.Suggestions() {
+			sb.WriteString("    -> " + s + "\n")
+		}
+	}
+	return sb.String()
+}
+
+// ExplainPair renders the full commutativity story for one pair of
+// rules: the Lemma 6.1 verdict with reasons, the Definition 6.5 R1/R2
+// construction (when the pair is unordered), and the resulting
+// obligations — the "why is this pair a problem?" answer for the
+// interactive environment.
+func ExplainPair(a *Analyzer, ri, rj *rules.Rule) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PAIR (%s, %s):\n", ri.Name, rj.Name)
+	switch {
+	case a.Set().Higher(ri, rj):
+		fmt.Fprintf(&sb, "  ordered: %s > %s — not subject to the Confluence Requirement\n", ri.Name, rj.Name)
+	case a.Set().Higher(rj, ri):
+		fmt.Fprintf(&sb, "  ordered: %s > %s — not subject to the Confluence Requirement\n", rj.Name, ri.Name)
+	default:
+		sb.WriteString("  unordered: subject to the Confluence Requirement (Definition 6.5)\n")
+	}
+	ok, reasons := a.Commute(ri, rj)
+	if ok {
+		sb.WriteString("  commutativity (Lemma 6.1): guaranteed to commute\n")
+	} else {
+		sb.WriteString("  commutativity (Lemma 6.1): may NOT commute\n")
+		for _, r := range reasons {
+			sb.WriteString("    " + r.String() + "\n")
+		}
+	}
+	if a.Set().Unordered(ri, rj) {
+		r1, r2 := a.BuildR1R2(ri, rj)
+		fmt.Fprintf(&sb, "  R1 = {%s}\n", strings.Join(sortedNames(r1), ", "))
+		fmt.Fprintf(&sb, "  R2 = {%s}\n", strings.Join(sortedNames(r2), ", "))
+		if viol := a.checkPair(ri, rj); viol != nil {
+			sb.WriteString("  requirement: VIOLATED — " + indent(viol.String(), "  ") + "\n")
+			for _, s := range viol.Suggestions() {
+				sb.WriteString("    -> " + s + "\n")
+			}
+		} else {
+			sb.WriteString("  requirement: satisfied (every R1 x R2 pair commutes)\n")
+		}
+	}
+	return sb.String()
+}
+
+// ReportRepairPlan renders an AutoRepair outcome.
+func ReportRepairPlan(p *RepairPlan) string {
+	var sb strings.Builder
+	if p.Succeeded() {
+		fmt.Fprintf(&sb, "AUTO-REPAIR: confluence guaranteed after %d round(s)\n", p.Rounds)
+	} else if p.Final != nil && p.Final.RequirementHolds {
+		fmt.Fprintf(&sb, "AUTO-REPAIR: requirement holds after %d round(s), but termination is not guaranteed\n", p.Rounds)
+	} else {
+		fmt.Fprintf(&sb, "AUTO-REPAIR: did not reach confluence (%d round(s))\n", p.Rounds)
+	}
+	if len(p.Orderings) == 0 {
+		sb.WriteString("  no orderings needed\n")
+	}
+	for _, o := range p.Orderings {
+		fmt.Fprintf(&sb, "  order %s %s\n", o[0], o[1])
+	}
+	return sb.String()
+}
+
+// ReportRestricted renders a restricted-user-operations verdict.
+func ReportRestricted(v *RestrictedVerdict) string {
+	var sb strings.Builder
+	sb.WriteString("RESTRICTED ANALYSIS for user operations " + v.UserOps.String() + ":\n")
+	sb.WriteString("  reachable rules: {" + strings.Join(v.ReachableNames(), ", ") + "}\n")
+	sb.WriteString(indentAll(ReportTermination(v.Termination), "  "))
+	sb.WriteString(indentAll(ReportConfluence(v.Confluence), "  "))
+	sb.WriteString(indentAll(ReportObservable(v.Observable), "  "))
+	return sb.String()
+}
+
+// ReportPartition renders the partition structure and per-partition
+// confluence verdicts of the incremental-analysis extension.
+func ReportPartition(parts [][]*rules.Rule, per []*ConfluenceVerdict) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("PARTITIONS: %d independent group(s)\n", len(parts)))
+	for i, part := range parts {
+		sb.WriteString(fmt.Sprintf("  partition %d: {%s}", i+1, strings.Join(rules.Names(part), ", ")))
+		if i < len(per) {
+			if per[i].Guaranteed {
+				sb.WriteString(" — confluent\n")
+			} else {
+				sb.WriteString(fmt.Sprintf(" — %d violation(s)\n", len(per[i].Violations)))
+			}
+		} else {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// indentAll pads every line including the first.
+func indentAll(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"activerules/internal/schema"
+)
+
+func TestReportRestricted(t *testing.T) {
+	a := compile(t, "table a (v int)\ntable b (v int)", `
+create rule loop_a on a when inserted then insert into b values (1)
+create rule loop_b on b when inserted then insert into a values (1)
+create rule safe on a when deleted then delete from b where v < 0
+`, nil)
+	v := a.AnalyzeRestricted(schema.NewOpSet(schema.Delete("a")))
+	out := ReportRestricted(v)
+	for _, want := range []string{"RESTRICTED ANALYSIS", "(D,a)", "reachable rules: {safe}", "TERMINATION: guaranteed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportPartition(t *testing.T) {
+	a := compile(t, "table a (v int)\ntable b (v int)\ntable trig (x int)", `
+create rule ra on a when inserted then delete from a where v < 0
+create rule x1 on trig when inserted then update b set v = 1
+create rule x2 on trig when inserted then update b set v = 2
+`, nil)
+	parts := a.Partition()
+	_, per := a.PartitionedConfluence()
+	out := ReportPartition(parts, per)
+	for _, want := range []string{"PARTITIONS: 2", "confluent", "violation(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering with fewer verdicts than partitions stays safe.
+	out2 := ReportPartition(parts, nil)
+	if !strings.Contains(out2, "PARTITIONS: 2") {
+		t.Error("partial rendering broken")
+	}
+}
+
+func TestCommuteCacheConsistency(t *testing.T) {
+	// The memoized verdict must be identical however often and in
+	// whatever argument order the pair is queried.
+	a := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1
+create rule rj on trig when inserted then update t set v = 2
+create rule rk on trig when inserted then delete from trig where x < 0
+`, nil)
+	set := a.Set()
+	ri, rj, rk := set.Rule("ri"), set.Rule("rj"), set.Rule("rk")
+	ok1, r1 := a.Commute(ri, rj)
+	ok2, r2 := a.Commute(rj, ri)
+	ok3, _ := a.Commute(ri, rj)
+	if ok1 || ok2 || ok3 {
+		t.Fatal("pair must not commute")
+	}
+	if len(r1) != len(r2) {
+		t.Errorf("cached reasons differ in size: %d vs %d", len(r1), len(r2))
+	}
+	if ok, _ := a.Commute(ri, rk); ok != func() bool { ok2, _ := a.Commute(rk, ri); return ok2 }() {
+		t.Error("cache broke symmetry")
+	}
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"sort"
+
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// RestrictedVerdict is the outcome of analysis under restricted
+// user-generated operations — the first half of the paper's "Restricted
+// user operations" future-work item (Section 9): when users are known to
+// perform only certain operations on certain tables, fewer rules are
+// reachable and properties may hold that do not hold in general.
+type RestrictedVerdict struct {
+	// UserOps is the restriction: the only operations user transactions
+	// may perform.
+	UserOps schema.OpSet
+
+	// Reachable is the set of rules that can ever be triggered — rules
+	// triggered directly by UserOps, closed under the Triggers relation
+	// — in definition order. Unreachable rules are dead under the
+	// restriction and are excluded from every check.
+	Reachable []*rules.Rule
+
+	// Termination, Confluence, and Observable are the three analyses
+	// restricted to the reachable rules.
+	Termination *TerminationVerdict
+	Confluence  *ConfluenceVerdict
+	Observable  *ObservableVerdict
+}
+
+// ReachableNames returns the reachable rule names, sorted.
+func (v *RestrictedVerdict) ReachableNames() []string {
+	out := rules.Names(v.Reachable)
+	sort.Strings(out)
+	return out
+}
+
+// ReachableRules computes the rules that can become triggered when user
+// transactions are restricted to ops: the rules whose Triggered-By
+// intersects ops, closed under Triggers (a rule triggered by a reachable
+// rule's action is reachable).
+func (a *Analyzer) ReachableRules(ops schema.OpSet) []*rules.Rule {
+	n := a.set.Len()
+	in := make([]bool, n)
+	var queue []*rules.Rule
+	for _, r := range a.set.Rules() {
+		if ops.Intersects(r.TriggeredBy()) {
+			in[r.Index()] = true
+			queue = append(queue, r)
+		}
+	}
+	g := a.graph()
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, nxt := range g.Successors(r) {
+			if !in[nxt.Index()] {
+				in[nxt.Index()] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	var out []*rules.Rule
+	for _, r := range a.set.Rules() {
+		if in[r.Index()] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AnalyzeRestricted runs termination, confluence, and observable
+// determinism under the assumption that user transactions only perform
+// the given operations. All checks consider only the reachable rules, so
+// a rule set that is unsafe in general may be certified safe for a known
+// workload.
+func (a *Analyzer) AnalyzeRestricted(ops schema.OpSet) *RestrictedVerdict {
+	reach := a.ReachableRules(ops)
+	v := &RestrictedVerdict{UserOps: ops.Clone(), Reachable: reach}
+	v.Termination = a.TerminationOf(reach)
+	v.Confluence = a.confluenceOver(reach, v.Termination)
+	v.Observable = a.observableOver(reach, v.Termination)
+	return v
+}
+
+// observableOver is ObservableDeterminism restricted to a member subset:
+// the Obs extension is applied, Sig(Obs) is computed within the subset,
+// and the supplied termination verdict (for the subset) stands in for
+// full-set termination.
+func (a *Analyzer) observableOver(members []*rules.Rule, term *TerminationVerdict) *ObservableVerdict {
+	obs := freshObsName(a.set.Schema())
+	obsIns := schema.Insert(obs)
+	obsRead := schema.ColRef(obs, "c")
+	inMembers := make([]bool, a.set.Len())
+	for _, r := range members {
+		inMembers[r.Index()] = true
+	}
+	ext := a.withView(ruleView{
+		performs: func(r *rules.Rule) schema.OpSet {
+			if !r.Observable() || !inMembers[r.Index()] {
+				return r.Performs()
+			}
+			out := r.Performs().Clone()
+			out.Add(obsIns)
+			return out
+		},
+		reads: func(r *rules.Rule) schema.ColSet {
+			if !r.Observable() || !inMembers[r.Index()] {
+				return r.Reads()
+			}
+			out := r.Reads().Clone()
+			out.Add(obsRead)
+			return out
+		},
+	})
+	// Sig over the member subset only.
+	sig := ext.sigWithin(members, []string{obs})
+	sigTerm := a.TerminationOf(sig)
+	var obsNames []string
+	for _, r := range members {
+		if r.Observable() {
+			obsNames = append(obsNames, r.Name)
+		}
+	}
+	sort.Strings(obsNames)
+	return &ObservableVerdict{
+		ObsTable:        obs,
+		ObservableRules: obsNames,
+		Partial: &PartialConfluenceVerdict{
+			Tables:     []string{obs},
+			Sig:        sig,
+			Confluence: ext.confluenceOver(sig, sigTerm),
+		},
+		Termination: term,
+	}
+}
+
+// sigWithin is the Definition 7.1 fixpoint restricted to a member set.
+func (a *Analyzer) sigWithin(members []*rules.Rule, tables []string) []*rules.Rule {
+	want := map[string]bool{}
+	for _, t := range tables {
+		want[t] = true
+	}
+	in := make([]bool, a.set.Len())
+	inMembers := make([]bool, a.set.Len())
+	for _, r := range members {
+		inMembers[r.Index()] = true
+		for op := range a.view.performs(r) {
+			if want[op.Table] {
+				in[r.Index()] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range members {
+			if in[r.Index()] {
+				continue
+			}
+			for _, r2 := range members {
+				if !in[r2.Index()] {
+					continue
+				}
+				if ok, _ := a.Commute(r, r2); !ok {
+					in[r.Index()] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []*rules.Rule
+	for _, r := range members {
+		if in[r.Index()] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable u (v int)\ntable w (v int)", `
+create rule r1 on t when inserted then insert into u values (1) precedes r2
+create rule r2 on u when inserted then insert into t values (1)
+create rule r3 on w when inserted then select v from inserted
+`, nil)
+	s := a.Stats()
+	if s.Rules != 3 || s.Tables != 3 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.TriggerEdges != 2 {
+		t.Errorf("TriggerEdges = %d, want 2 (r1<->r2)", s.TriggerEdges)
+	}
+	if s.CyclicRules != 2 {
+		t.Errorf("CyclicRules = %d, want 2", s.CyclicRules)
+	}
+	if s.SelfLoops != 0 {
+		t.Errorf("SelfLoops = %d", s.SelfLoops)
+	}
+	if s.OrderedPairs != 1 || s.UnorderedPairs != 2 {
+		t.Errorf("pairs: ordered=%d unordered=%d", s.OrderedPairs, s.UnorderedPairs)
+	}
+	if s.ObservableRules != 1 {
+		t.Errorf("ObservableRules = %d", s.ObservableRules)
+	}
+	if s.Partitions != 2 || s.LargestPartition != 2 {
+		t.Errorf("partitions: %d largest %d", s.Partitions, s.LargestPartition)
+	}
+	// r1/r2 fire condition 1 (mutual triggering); r3 commutes with both.
+	if s.CommutingPairs != 2 || s.NoncommutingPairs != 1 {
+		t.Errorf("commute profile: %d/%d", s.CommutingPairs, s.NoncommutingPairs)
+	}
+	if s.ConditionCounts[1] != 1 {
+		t.Errorf("ConditionCounts = %v", s.ConditionCounts)
+	}
+	out := ReportStats(s)
+	for _, want := range []string{"RULE SET STATISTICS", "rules: 3", "2 rules on cycles", "partitions: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsSelfLoop(t *testing.T) {
+	a := compile(t, "table t (v int)", `
+create rule r on t when inserted then insert into t values (1)
+`, nil)
+	s := a.Stats()
+	if s.SelfLoops != 1 || s.CyclicRules != 1 {
+		t.Errorf("self-loop stats: %+v", s)
+	}
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// TerminationVerdict is the outcome of the Section 5 analysis.
+type TerminationVerdict struct {
+	// Guaranteed reports that rule processing terminates for every
+	// initial database state and user transition (Theorem 5.1, after
+	// removing discharged rules from the triggering graph).
+	Guaranteed bool
+
+	// CyclicSCCs are the strong components that still sustain cycles
+	// after discharges; these are what the user must inspect (Section 5:
+	// "the user is notified of all cycles (or strong components)").
+	CyclicSCCs [][]*rules.Rule
+
+	// SampleCycles holds one concrete triggering cycle per cyclic SCC,
+	// for readable reports.
+	SampleCycles [][]*rules.Rule
+
+	// AutoDischarged lists rules discharged automatically by the
+	// delete-only special case of Section 5 (a rule whose action only
+	// deletes from tables that no rule in its component inserts into:
+	// repeated consideration eventually has no effect).
+	AutoDischarged []string
+
+	// UserDischarged lists the user-certified discharges that were
+	// applied.
+	UserDischarged []string
+
+	// DischargedEdges lists the user-certified edge discharges removed
+	// from the graph before the cycle check.
+	DischargedEdges [][2]string
+
+	// Graph is the triggering graph analyzed, for further inspection.
+	Graph *TriggeringGraph
+}
+
+// Termination analyzes termination of the full rule set (Section 5):
+// build TG_R, auto-discharge the delete-only special case, apply user
+// discharges, and check the remainder for cycles.
+func (a *Analyzer) Termination() *TerminationVerdict {
+	return a.terminationOf(nil)
+}
+
+// TerminationOf analyzes termination of a subset of the rules processed
+// on their own, as required for partial confluence (footnote 7 of
+// Section 7). A nil subset means all rules.
+func (a *Analyzer) TerminationOf(subset []*rules.Rule) *TerminationVerdict {
+	return a.terminationOf(subset)
+}
+
+func (a *Analyzer) terminationOf(subset []*rules.Rule) *TerminationVerdict {
+	g := a.graph()
+	droppedEdges := a.cert.DischargedEdges()
+	if len(droppedEdges) > 0 {
+		g = g.WithoutEdges(func(from, to *rules.Rule) bool {
+			return a.cert.EdgeDischarged(from.Name, to.Name)
+		})
+	}
+	v := &TerminationVerdict{Graph: g, DischargedEdges: droppedEdges}
+
+	// Discharge pass: user discharges apply unconditionally; the
+	// delete-only heuristic needs the component structure, so iterate:
+	// recompute components, discharge, repeat until stable.
+	discharged := map[string]bool{}
+	for _, r := range a.set.Rules() {
+		if a.cert.Discharged(r.Name) {
+			discharged[r.Name] = true
+			v.UserDischarged = append(v.UserDischarged, r.Name)
+		}
+	}
+	for {
+		sccs := g.CyclicSCCs(subset, func(r *rules.Rule) bool { return discharged[r.Name] })
+		newly := a.autoDischargeDeleteOnly(sccs, discharged)
+		newly = append(newly, a.autoDischargeMonotonic(sccs, discharged)...)
+		if len(newly) == 0 {
+			v.CyclicSCCs = sccs
+			break
+		}
+		for _, name := range newly {
+			if discharged[name] {
+				continue
+			}
+			discharged[name] = true
+			v.AutoDischarged = append(v.AutoDischarged, name)
+		}
+	}
+	for _, comp := range v.CyclicSCCs {
+		if cyc := g.FindCycle(comp); cyc != nil {
+			v.SampleCycles = append(v.SampleCycles, cyc)
+		}
+	}
+	v.Guaranteed = len(v.CyclicSCCs) == 0
+	return v
+}
+
+// autoDischargeDeleteOnly implements the first special case of Section 5:
+// if the action of some rule r on a cycle only deletes from tables, and
+// no other rule on the cycle inserts into those tables, then r's action
+// eventually has no effect, so r cannot sustain the cycle. Returns the
+// names of newly dischargeable rules.
+func (a *Analyzer) autoDischargeDeleteOnly(sccs [][]*rules.Rule, already map[string]bool) []string {
+	var out []string
+	for _, comp := range sccs {
+		// Tables inserted into by ANY rule of the component.
+		inserted := map[string]bool{}
+		for _, r := range comp {
+			for op := range a.view.performs(r) {
+				if op.Kind == schema.OpInsert {
+					inserted[op.Table] = true
+				}
+			}
+		}
+		for _, r := range comp {
+			if already[r.Name] {
+				continue
+			}
+			deleteOnly := true
+			refilled := false
+			perf := a.view.performs(r)
+			if perf.Len() == 0 {
+				deleteOnly = false // an op-free rule cannot shrink anything
+			}
+			for op := range perf {
+				if op.Kind != schema.OpDelete {
+					deleteOnly = false
+					break
+				}
+				if inserted[op.Table] {
+					refilled = true
+				}
+			}
+			if deleteOnly && !refilled {
+				out = append(out, r.Name)
+			}
+		}
+	}
+	return out
+}

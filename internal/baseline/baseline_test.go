@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"testing"
+
+	"activerules/internal/analysis"
+	"activerules/internal/ruledef"
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+	"activerules/internal/workload"
+)
+
+func compile(t *testing.T, schemaSrc, rulesSrc string) *rules.Set {
+	t.Helper()
+	sch := schema.MustParse(schemaSrc)
+	set, err := rules.NewSet(sch, ruledef.MustParse(rulesSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestBaselineAcceptsCommutingSet(t *testing.T) {
+	set := compile(t, "table t (v int)\ntable a (v int)\ntable b (v int)", `
+create rule ra on t when inserted then insert into a values (1)
+create rule rb on t when inserted then insert into b values (1)
+`)
+	v := Analyze(set)
+	if !v.UniqueFixedPoint() {
+		t.Errorf("disjoint writers should pass the baseline: %+v", v)
+	}
+}
+
+func TestBaselineRejectsOrderedConflict(t *testing.T) {
+	// The pair conflicts but is ordered: the paper's analysis accepts,
+	// the priority-blind baseline rejects — the proper-subsumption gap.
+	set := compile(t, "table trig (x int)\ntable t (v int)", `
+create rule ri on trig when inserted then update t set v = 1 precedes rj
+create rule rj on trig when inserted then update t set v = 2
+`)
+	bv := Analyze(set)
+	if bv.UniqueFixedPoint() {
+		t.Fatal("baseline must reject the conflicting pair (it ignores priorities)")
+	}
+	if len(bv.FailedPairs) != 1 || bv.FailedPairs[0] != [2]string{"ri", "rj"} {
+		t.Errorf("FailedPairs = %v", bv.FailedPairs)
+	}
+	av := analysis.New(set, nil).Confluence()
+	if !av.Guaranteed {
+		t.Error("the paper's analysis should accept the ordered pair")
+	}
+}
+
+func TestBaselineRejectsCycles(t *testing.T) {
+	set := compile(t, "table t (v int)\ntable u (v int)", `
+create rule r1 on t when inserted then insert into u values (1)
+create rule r2 on u when inserted then insert into t values (1)
+`)
+	if Analyze(set).UniqueFixedPoint() {
+		t.Error("cyclic set must be rejected")
+	}
+}
+
+// TestSubsumption is the E5 invariant on random workloads: whenever the
+// baseline accepts, the paper's analysis accepts (never vice versa being
+// required).
+func TestSubsumption(t *testing.T) {
+	accepted, baselineAccepted := 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		g := workload.MustGenerate(workload.Config{
+			Seed: seed, Rules: 6, Tables: 4, Acyclic: true,
+			UpdateFrac: 0.4, DeleteFrac: 0.1,
+			PriorityDensity: 0.4, ConditionFrac: 0.3,
+		})
+		bv := Analyze(g.Set)
+		av := analysis.New(g.Set, nil).Confluence()
+		if av.Guaranteed {
+			accepted++
+		}
+		if bv.UniqueFixedPoint() {
+			baselineAccepted++
+			if !av.Guaranteed {
+				t.Fatalf("seed %d: baseline accepted but the paper's analysis rejected — subsumption broken", seed)
+			}
+		}
+	}
+	if accepted < baselineAccepted {
+		t.Errorf("paper analysis accepted %d < baseline %d", accepted, baselineAccepted)
+	}
+	t.Logf("accepted: paper=%d baseline=%d of 60", accepted, baselineAccepted)
+}

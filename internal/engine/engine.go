@@ -1,0 +1,446 @@
+// Package engine executes Starburst rule processing with the exact
+// semantics of Section 2 of the paper: net-effect transitions, transition
+// tables, rule assertion points, priority-constrained choice among
+// triggered rules, per-rule "transition since last considered"
+// bookkeeping, untriggering, and rollback.
+//
+// The engine is the execution-time counterpart of the static analyzer: it
+// is used by examples and by the execution-graph model checker
+// (internal/execgraph) that provides ground truth for the analyzer's
+// conservative verdicts.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"activerules/internal/rules"
+	"activerules/internal/sqlmini"
+	"activerules/internal/storage"
+	"activerules/internal/transition"
+)
+
+// ErrMaxSteps is returned by Assert when rule processing exceeds the
+// configured step budget, the runtime symptom of a (potentially)
+// nonterminating rule set.
+var ErrMaxSteps = errors.New("engine: rule processing exceeded the step budget (possible nontermination)")
+
+// ObservableEvent is one environment-visible action (Section 3:
+// Observable): a data retrieval or a rollback, in execution order.
+type ObservableEvent struct {
+	Rule      string
+	Statement string
+	Rows      [][]storage.Value // SELECT results; nil for rollback
+	Rollback  bool
+}
+
+// String renders the event compactly for logs and comparisons.
+func (ev ObservableEvent) String() string {
+	if ev.Rollback {
+		return ev.Rule + ": rollback"
+	}
+	out := ev.Rule + ": " + ev.Statement + " ->"
+	for _, row := range ev.Rows {
+		out += " ("
+		for i, v := range row {
+			if i > 0 {
+				out += ","
+			}
+			out += v.String()
+		}
+		out += ")"
+	}
+	return out
+}
+
+// Result summarizes one rule-processing run at an assertion point.
+type Result struct {
+	Considered  int  // rule considerations (condition evaluations)
+	Fired       int  // actions executed (condition held)
+	RolledBack  bool // a rollback action aborted the transaction
+	Observables []ObservableEvent
+	// FiredByRule counts action executions per rule, for profiling and
+	// reports; nil when nothing fired.
+	FiredByRule map[string]int
+}
+
+// Options configure an Engine.
+type Options struct {
+	// MaxSteps bounds the number of rule considerations per assertion
+	// point; 0 means the default of 10000.
+	MaxSteps int
+	// Strategy picks among eligible rules; nil means FirstByName, the
+	// deterministic default.
+	Strategy Strategy
+	// Trace, when non-nil, receives one TraceEvent per processing step.
+	Trace func(TraceEvent)
+}
+
+// Engine processes rules against a database. It is single-threaded.
+type Engine struct {
+	set  *rules.Set
+	db   *storage.DB
+	log  *transition.Log
+	opts Options
+
+	// marks[i] is the log position up to which rule i has processed the
+	// transition (Section 2): its transition predicate is evaluated over
+	// the net effect of the log suffix from marks[i].
+	marks []int
+
+	// snapshot is the database state at transaction start, restored by a
+	// rollback action.
+	snapshot *storage.DB
+
+	// assertStart is the log position where the current assertion
+	// point's initial transition began.
+	assertStart int
+}
+
+// New creates an engine over db for the rule set. The current database
+// contents become the transaction-start snapshot.
+func New(set *rules.Set, db *storage.DB, opts Options) *Engine {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 10000
+	}
+	if opts.Strategy == nil {
+		opts.Strategy = FirstByName{}
+	}
+	return &Engine{
+		set:      set,
+		db:       db,
+		log:      &transition.Log{},
+		opts:     opts,
+		marks:    make([]int, set.Len()),
+		snapshot: db.Clone(),
+	}
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// SetStrategy replaces the choice strategy for subsequent processing.
+func (e *Engine) SetStrategy(s Strategy) {
+	if s == nil {
+		s = FirstByName{}
+	}
+	e.opts.Strategy = s
+}
+
+// Set returns the engine's rule set.
+func (e *Engine) Set() *rules.Set { return e.set }
+
+// recordingMutator applies changes to the database and records them in
+// the transition log.
+type recordingMutator struct {
+	db  *storage.DB
+	log *transition.Log
+}
+
+func (m recordingMutator) Insert(table string, vals []storage.Value) (storage.TupleID, error) {
+	id, err := m.db.Insert(table, vals)
+	if err != nil {
+		return 0, err
+	}
+	m.log.RecordInsert(table, id)
+	return id, nil
+}
+
+func (m recordingMutator) Delete(table string, id storage.TupleID) error {
+	tu := m.db.Table(table).Get(id)
+	if tu == nil {
+		return fmt.Errorf("engine: delete of missing tuple %d from %s", id, table)
+	}
+	old := make([]storage.Value, len(tu.Vals))
+	copy(old, tu.Vals)
+	m.db.Delete(table, id)
+	m.log.RecordDelete(table, id, old)
+	return nil
+}
+
+func (m recordingMutator) Update(table string, id storage.TupleID, col string, v storage.Value) error {
+	tu := m.db.Table(table).Get(id)
+	if tu == nil {
+		return fmt.Errorf("engine: update of missing tuple %d in %s", id, table)
+	}
+	old := make([]storage.Value, len(tu.Vals))
+	copy(old, tu.Vals)
+	if _, err := m.db.Update(table, id, col, v); err != nil {
+		return err
+	}
+	m.log.RecordUpdate(table, id, old)
+	return nil
+}
+
+// ExecUser executes user-generated SQL (outside any rule) with recording,
+// building the initial transition for the next assertion point. Source
+// may contain multiple ';'-separated statements. SELECT statements return
+// their rows in the results; ROLLBACK is not permitted here.
+func (e *Engine) ExecUser(src string) ([]sqlmini.StmtResult, error) {
+	sts, err := sqlmini.ParseStatements(src)
+	if err != nil {
+		return nil, err
+	}
+	rc := &sqlmini.ResolveContext{Schema: e.set.Schema()}
+	ev := &sqlmini.Evaluator{DB: e.db, Mut: recordingMutator{db: e.db, log: e.log}}
+	var out []sqlmini.StmtResult
+	for _, st := range sts {
+		if _, ok := st.(*sqlmini.Rollback); ok {
+			return nil, fmt.Errorf("engine: rollback is not permitted in user scripts; it is a rule action")
+		}
+		if err := sqlmini.ResolveStatement(st, rc); err != nil {
+			return nil, err
+		}
+		res, err := ev.Exec(st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// emptyNet is the shared net effect of an untouched suffix.
+var emptyNet = transition.EmptyNet()
+
+// pendingNet computes the composite transition rule r has not yet seen,
+// restricted to r's table — all that r's transition predicate and
+// transition tables can depend on. When the log has no entry on r's
+// table past r's mark, the shared empty net is returned without any
+// computation.
+func (e *Engine) pendingNet(r *rules.Rule) *transition.Net {
+	mark := e.marks[r.Index()]
+	if e.log.LastTouch(r.Table) < mark {
+		return emptyNet
+	}
+	return transition.ComputeTable(e.log, mark, e.db, r.Table)
+}
+
+// TriggeredRules returns the currently triggered rules in definition
+// order: those whose transition predicate holds over their pending
+// transition (Section 2).
+func (e *Engine) TriggeredRules() []*rules.Rule {
+	var out []*rules.Rule
+	for _, r := range e.set.Rules() {
+		if e.pendingNet(r).Ops().Intersects(r.TriggeredBy()) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// EligibleRules returns Choose(TriggeredRules): the triggered rules with
+// no triggered rule of higher priority.
+func (e *Engine) EligibleRules() []*rules.Rule {
+	return e.set.Choose(e.TriggeredRules())
+}
+
+// transitionDataFor materializes the transition tables rule r sees.
+func transitionDataFor(n *transition.Net, table string) *sqlmini.TransitionData {
+	tn := n.Table(table)
+	if tn == nil {
+		return &sqlmini.TransitionData{}
+	}
+	td := &sqlmini.TransitionData{Inserted: tn.Inserted, Deleted: tn.Deleted}
+	for _, up := range tn.Updated {
+		td.OldUpdated = append(td.OldUpdated, up.Old)
+		td.NewUpdated = append(td.NewUpdated, up.New)
+	}
+	return td
+}
+
+// Consider evaluates rule r now: it fixes r's transition tables from its
+// pending transition, advances r's mark, checks the condition, and (if
+// the condition holds) executes the action. It reports whether the action
+// fired and any observable events, and whether a rollback occurred.
+//
+// Consider does not check that r is eligible; Assert and the model
+// checker only call it for eligible rules.
+func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, rolledBack bool, err error) {
+	net := e.pendingNet(r)
+	td := transitionDataFor(net, r.Table)
+	e.marks[r.Index()] = e.log.Mark()
+
+	cond := true
+	if r.Condition != nil {
+		ev := &sqlmini.Evaluator{DB: e.db, Trans: td}
+		cond, err = ev.EvalPredicate(r.Condition)
+		if err != nil {
+			return false, nil, false, fmt.Errorf("engine: rule %q condition: %w", r.Name, err)
+		}
+	}
+	if !cond {
+		return false, nil, false, nil
+	}
+
+	ev := &sqlmini.Evaluator{
+		DB:    e.db,
+		Trans: td,
+		Mut:   recordingMutator{db: e.db, log: e.log},
+	}
+	for _, st := range r.Action {
+		res, err := ev.Exec(st)
+		if err != nil {
+			return true, events, false, fmt.Errorf("engine: rule %q action: %w", r.Name, err)
+		}
+		if res.Rolled {
+			events = append(events, ObservableEvent{Rule: r.Name, Statement: st.String(), Rollback: true})
+			e.rollback()
+			return true, events, true, nil
+		}
+		if sqlmini.IsObservable(st) {
+			events = append(events, ObservableEvent{Rule: r.Name, Statement: st.String(), Rows: res.Rows})
+		}
+	}
+	return true, events, false, nil
+}
+
+// rollback restores the transaction-start snapshot and clears all rule
+// bookkeeping.
+func (e *Engine) rollback() {
+	e.db = e.snapshot.Clone()
+	e.log.Truncate()
+	for i := range e.marks {
+		e.marks[i] = 0
+	}
+	e.assertStart = 0
+}
+
+// BeginAssert prepares rule processing at an assertion point without
+// running it: every rule starts out seeing the transition since the last
+// assertion point (or transaction start). The execution-graph explorer
+// uses this to place the engine in the initial state I of Section 4 and
+// then drives Consider itself.
+func (e *Engine) BeginAssert() {
+	for i := range e.marks {
+		e.marks[i] = e.assertStart
+	}
+}
+
+// Assert runs rule processing at an assertion point (Section 2): rules
+// are repeatedly chosen from the eligible set and considered until no
+// rule is triggered, a rollback occurs, or the step budget is exhausted
+// (ErrMaxSteps).
+func (e *Engine) Assert() (Result, error) {
+	e.BeginAssert()
+	e.trace(TraceEvent{Kind: "assert-begin"})
+	var res Result
+	for {
+		triggered := e.TriggeredRules()
+		eligible := e.set.Choose(triggered)
+		if len(eligible) == 0 {
+			e.assertStart = e.log.Mark()
+			e.trace(TraceEvent{Kind: "assert-end", Considered: res.Considered, Fired: res.Fired})
+			return res, nil
+		}
+		if res.Considered >= e.opts.MaxSteps {
+			return res, ErrMaxSteps
+		}
+		r := e.opts.Strategy.Pick(eligible)
+		if e.opts.Trace != nil {
+			e.trace(TraceEvent{Kind: "choose", Rule: r.Name,
+				Triggered: names(triggered), Eligible: names(eligible)})
+		}
+		fired, events, rolled, err := e.Consider(r)
+		if err != nil {
+			return res, err
+		}
+		res.Considered++
+		if fired {
+			res.Fired++
+			if res.FiredByRule == nil {
+				res.FiredByRule = make(map[string]int)
+			}
+			res.FiredByRule[r.Name]++
+			if rolled {
+				e.trace(TraceEvent{Kind: "rollback", Rule: r.Name})
+			} else {
+				e.trace(TraceEvent{Kind: "fire", Rule: r.Name})
+			}
+		} else {
+			e.trace(TraceEvent{Kind: "skip", Rule: r.Name})
+		}
+		res.Observables = append(res.Observables, events...)
+		if rolled {
+			res.RolledBack = true
+			return res, nil
+		}
+	}
+}
+
+// Commit ends the transaction: the current state becomes the new
+// rollback snapshot and the transition log is cleared.
+func (e *Engine) Commit() {
+	e.snapshot = e.db.Clone()
+	e.log.Truncate()
+	for i := range e.marks {
+		e.marks[i] = 0
+	}
+	e.assertStart = 0
+}
+
+// Clone returns an independent copy of the engine (database, log, marks,
+// snapshot). The model checker forks engines to explore every choice.
+func (e *Engine) Clone() *Engine {
+	ne := &Engine{
+		set:         e.set,
+		db:          e.db.Clone(),
+		log:         e.log.Clone(),
+		opts:        e.opts,
+		marks:       make([]int, len(e.marks)),
+		snapshot:    e.snapshot, // snapshot is never mutated; safe to share
+		assertStart: e.assertStart,
+	}
+	copy(ne.marks, e.marks)
+	return ne
+}
+
+// StateFingerprint identifies the execution-graph state (D, TR) of
+// Section 4: the database contents plus, per rule, the net effect of its
+// pending transition restricted to the rule's table. The restriction
+// matches the paper's abstraction: a rule's transition predicate and
+// transition tables concern only its own table, so pending changes to
+// other tables cannot influence its future behaviour. Two engine states
+// with equal fingerprints behave identically for all future rule
+// processing.
+func (e *Engine) StateFingerprint() string {
+	fp := e.db.Fingerprint()
+	out := make([]byte, 0, 32+len(e.marks)*33)
+	out = append(out, fp[:]...)
+	for _, r := range e.set.Rules() {
+		nf := e.pendingNet(r).TableFingerprint(r.Table)
+		out = append(out, '|')
+		out = append(out, nf[:]...)
+	}
+	return string(out)
+}
+
+// TRStateFingerprint identifies the state exactly as the paper's Section
+// 4 model does: the database contents plus the set TR of TRIGGERED rules
+// with their associated transition tables. Untriggered rules contribute
+// nothing, even if they carry a nonempty pending transition.
+//
+// This is coarser than StateFingerprint: two states equal under
+// TRStateFingerprint can in rare cases evolve differently, because an
+// untriggered rule's pending transition still determines how future
+// operations compose into its unseen net effect (see the masking
+// condition, internal/analysis condition 7). The model checker therefore
+// memoizes on the finer StateFingerprint; TRStateFingerprint exists to
+// validate the paper's Figure 1 commutativity diamond on the paper's own
+// state abstraction.
+func (e *Engine) TRStateFingerprint() string {
+	fp := e.db.Fingerprint()
+	out := make([]byte, 0, 64)
+	out = append(out, fp[:]...)
+	for _, r := range e.set.Rules() {
+		net := e.pendingNet(r)
+		if !net.Ops().Intersects(r.TriggeredBy()) {
+			continue
+		}
+		nf := net.TableFingerprint(r.Table)
+		out = append(out, '|')
+		out = append(out, byte(r.Index()), byte(r.Index()>>8))
+		out = append(out, nf[:]...)
+	}
+	return string(out)
+}

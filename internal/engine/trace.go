@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"activerules/internal/rules"
+)
+
+// TraceEvent is one step of rule processing, emitted to Options.Trace
+// when set. Traces make the §2 semantics observable for debugging and
+// for the interactive environment: which rules were triggered, which
+// were eligible under the priorities, which was chosen, and what its
+// condition decided.
+type TraceEvent struct {
+	// Kind is one of "assert-begin", "choose", "fire", "skip",
+	// "rollback", "assert-end".
+	Kind string
+	// Rule is the rule being considered (choose/fire/skip/rollback).
+	Rule string
+	// Triggered and Eligible are the rule names at a "choose" event.
+	Triggered []string
+	Eligible  []string
+	// Considered and Fired are the totals at "assert-end".
+	Considered int
+	Fired      int
+}
+
+// String renders the event for log output.
+func (ev TraceEvent) String() string {
+	switch ev.Kind {
+	case "assert-begin":
+		return "assert: begin"
+	case "assert-end":
+		return fmt.Sprintf("assert: end (considered=%d fired=%d)", ev.Considered, ev.Fired)
+	case "choose":
+		return fmt.Sprintf("choose %s  triggered={%s} eligible={%s}",
+			ev.Rule, strings.Join(ev.Triggered, ","), strings.Join(ev.Eligible, ","))
+	case "fire":
+		return "fire " + ev.Rule
+	case "skip":
+		return "skip " + ev.Rule + " (condition false)"
+	case "rollback":
+		return "rollback by " + ev.Rule
+	default:
+		return ev.Kind + " " + ev.Rule
+	}
+}
+
+// trace emits an event if tracing is enabled.
+func (e *Engine) trace(ev TraceEvent) {
+	if e.opts.Trace != nil {
+		e.opts.Trace(ev)
+	}
+}
+
+func names(rs []*rules.Rule) []string { return rules.Names(rs) }

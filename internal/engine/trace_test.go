@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceSequence(t *testing.T) {
+	set, db := mkSet(t, "table t (v int)\ntable u (v int)", `
+create rule copy on t
+when inserted
+if exists (select 1 from inserted where v > 0)
+then insert into u select v from inserted
+`)
+	var events []TraceEvent
+	e := New(set, db, Options{Trace: func(ev TraceEvent) { events = append(events, ev) }})
+	if _, err := e.ExecUser("insert into t values (5)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, len(events))
+	for i, ev := range events {
+		kinds[i] = ev.Kind
+	}
+	want := "assert-begin,choose,fire,assert-end"
+	if got := strings.Join(kinds, ","); got != want {
+		t.Fatalf("trace = %s, want %s", got, want)
+	}
+	if events[1].Rule != "copy" || len(events[1].Triggered) != 1 || len(events[1].Eligible) != 1 {
+		t.Errorf("choose event = %+v", events[1])
+	}
+	if events[3].Considered != 1 || events[3].Fired != 1 {
+		t.Errorf("assert-end event = %+v", events[3])
+	}
+}
+
+func TestTraceSkipAndRollback(t *testing.T) {
+	set, db := mkSet(t, "table t (v int)", `
+create rule skipper on t
+when inserted
+if exists (select 1 from inserted where v > 100)
+then rollback
+`)
+	var kinds []string
+	e := New(set, db, Options{Trace: func(ev TraceEvent) { kinds = append(kinds, ev.Kind) }})
+	if _, err := e.ExecUser("insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(kinds, ",") != "assert-begin,choose,skip,assert-end" {
+		t.Errorf("skip trace = %v", kinds)
+	}
+	// Rollback path.
+	kinds = nil
+	if _, err := e.ExecUser("insert into t values (200)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Assert()
+	if err != nil || !res.RolledBack {
+		t.Fatalf("rollback expected: %v %v", res, err)
+	}
+	if strings.Join(kinds, ",") != "assert-begin,choose,rollback" {
+		t.Errorf("rollback trace = %v", kinds)
+	}
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	cases := []struct {
+		ev   TraceEvent
+		want string
+	}{
+		{TraceEvent{Kind: "assert-begin"}, "assert: begin"},
+		{TraceEvent{Kind: "assert-end", Considered: 2, Fired: 1}, "assert: end (considered=2 fired=1)"},
+		{TraceEvent{Kind: "choose", Rule: "r", Triggered: []string{"r", "s"}, Eligible: []string{"r"}},
+			"choose r  triggered={r,s} eligible={r}"},
+		{TraceEvent{Kind: "fire", Rule: "r"}, "fire r"},
+		{TraceEvent{Kind: "skip", Rule: "r"}, "skip r (condition false)"},
+		{TraceEvent{Kind: "rollback", Rule: "r"}, "rollback by r"},
+		{TraceEvent{Kind: "custom", Rule: "r"}, "custom r"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.ev.Kind, got, c.want)
+		}
+	}
+}
+
+func TestTraceDisabledCostsNothing(t *testing.T) {
+	// Without a trace hook, Assert must not build name slices; this is a
+	// behavioral check only (no events, same results).
+	set, db := mkSet(t, "table t (v int)\ntable u (v int)", `
+create rule copy on t when inserted then insert into u select v from inserted
+`)
+	e := New(set, db, Options{})
+	if _, err := e.ExecUser("insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Assert()
+	if err != nil || res.Fired != 1 {
+		t.Fatalf("untraced run broken: %+v %v", res, err)
+	}
+}

@@ -1,0 +1,29 @@
+package ruledef
+
+import "testing"
+
+// FuzzParse checks the rule-definition parser never panics and that
+// accepted inputs produce structurally sane definitions.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		sampleRules,
+		"create rule r on t when inserted then rollback",
+		"create rule r on t when updated(a, b) if a > 1 then delete from t",
+		"create rule r on t when inserted then insert into u values (1) precedes a, b follows c",
+		"create rule", "when then", "(((", "'", "--only a comment",
+		"create rule r on t when inserted then insert into u values ('then precedes')",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		defs, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, d := range defs {
+			if d.Name == "" || d.Table == "" || len(d.Triggers) == 0 || len(d.Action) == 0 {
+				t.Fatalf("accepted definition with missing parts: %+v", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package rules
+
+import (
+	"strings"
+
+	"activerules/internal/schema"
+)
+
+// Triggers computes the Triggers relationship of Section 3: all rules r'
+// (possibly including r itself) that can become triggered as a result of
+// r's action, i.e. Performs(r) ∩ Triggered-By(r') ≠ ∅. The result is in
+// definition order.
+func (s *Set) Triggers(r *Rule) []*Rule {
+	var out []*Rule
+	for _, r2 := range s.rules {
+		if r.performs.Intersects(r2.triggeredBy) {
+			out = append(out, r2)
+		}
+	}
+	return out
+}
+
+// CanTrigger reports whether r's action can trigger r2.
+func (s *Set) CanTrigger(r, r2 *Rule) bool {
+	return r.performs.Intersects(r2.triggeredBy)
+}
+
+// CanUntrigger computes the Can-Untrigger set of Section 3 for a set of
+// operations O': all rules that can be untriggered by O'. A rule can be
+// untriggered when a deletion from its table can undo the insertions or
+// updates that triggered it:
+//
+//	Can-Untrigger(O') = {r ∈ R | (D,t) ∈ O' and (I,t) or (U,t.c) ∈
+//	                     Triggered-By(r) for some t, t.c}
+func (s *Set) CanUntrigger(ops schema.OpSet) []*Rule {
+	var out []*Rule
+	for _, r := range s.rules {
+		if s.opsCanUntrigger(ops, r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CanBeUntriggeredBy reports whether operations of r1 can untrigger r2.
+func (s *Set) CanBeUntriggeredBy(r2, r1 *Rule) bool {
+	return s.opsCanUntrigger(r1.performs, r2)
+}
+
+func (s *Set) opsCanUntrigger(ops schema.OpSet, r *Rule) bool {
+	for op := range ops {
+		if op.Kind != schema.OpDelete {
+			continue
+		}
+		for trig := range r.triggeredBy {
+			if trig.Table != op.Table {
+				continue
+			}
+			if trig.Kind == schema.OpInsert || trig.Kind == schema.OpUpdate {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Choose computes the Choose set of Section 3: the subset of the
+// triggered rules eligible for consideration, i.e. those with no other
+// triggered rule having precedence over them. The result preserves the
+// order of the input slice.
+func (s *Set) Choose(triggered []*Rule) []*Rule {
+	var out []*Rule
+	for _, ri := range triggered {
+		eligible := true
+		for _, rj := range triggered {
+			if rj != ri && s.Higher(rj, ri) {
+				eligible = false
+				break
+			}
+		}
+		if eligible {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// UnorderedPairs enumerates all unordered pairs {ri, rj}, i < j by
+// definition index. These are the pairs the Confluence Requirement of
+// Definition 6.5 must be checked for (Observation 6.2).
+func (s *Set) UnorderedPairs() [][2]*Rule {
+	var out [][2]*Rule
+	for i, ri := range s.rules {
+		for _, rj := range s.rules[i+1:] {
+			if s.Unordered(ri, rj) {
+				out = append(out, [2]*Rule{ri, rj})
+			}
+		}
+	}
+	return out
+}
+
+// ObservableRules returns the rules whose actions may be observable.
+func (s *Set) ObservableRules() []*Rule {
+	var out []*Rule
+	for _, r := range s.rules {
+		if r.observable {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Writers returns the rules that perform any operation on any of the
+// given tables, the seed of the Sig(T') computation (Definition 7.1).
+func (s *Set) Writers(tables []string) []*Rule {
+	want := map[string]bool{}
+	for _, t := range tables {
+		want[strings.ToLower(t)] = true
+	}
+	var out []*Rule
+	for _, r := range s.rules {
+		for op := range r.performs {
+			if want[op.Table] {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}

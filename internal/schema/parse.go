@@ -1,0 +1,113 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a schema from its textual definition format, one table per
+// declaration:
+//
+//	table account (id int, owner string, balance float)
+//	table audit   (id int, msg string)
+//
+// Lines starting with "--" or "#" are comments. Declarations may span
+// multiple lines; they are terminated by the closing parenthesis.
+func Parse(src string) (*Schema, error) {
+	b := NewBuilder()
+	toks, err := tokenizeSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for i < len(toks) {
+		if !strings.EqualFold(toks[i], "table") {
+			return nil, fmt.Errorf("schema: expected 'table', found %q", toks[i])
+		}
+		i++
+		if i >= len(toks) {
+			return nil, fmt.Errorf("schema: expected table name after 'table'")
+		}
+		name := toks[i]
+		i++
+		if i >= len(toks) || toks[i] != "(" {
+			return nil, fmt.Errorf("schema: expected '(' after table name %q", name)
+		}
+		i++
+		var cols []Column
+		for {
+			if i >= len(toks) {
+				return nil, fmt.Errorf("schema: unterminated column list for table %q", name)
+			}
+			if toks[i] == ")" {
+				i++
+				break
+			}
+			colName := toks[i]
+			i++
+			if i >= len(toks) {
+				return nil, fmt.Errorf("schema: missing type for column %q of table %q", colName, name)
+			}
+			typ, err := ParseType(toks[i])
+			if err != nil {
+				return nil, fmt.Errorf("schema: table %q column %q: %v", name, colName, err)
+			}
+			i++
+			cols = append(cols, Col(colName, typ))
+			if i < len(toks) && toks[i] == "," {
+				i++
+			}
+		}
+		b.Table(name, cols...)
+	}
+	return b.Build()
+}
+
+// MustParse is Parse, panicking on error. Intended for tests and examples.
+func MustParse(src string) *Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// tokenizeSchema splits schema source into identifiers and punctuation,
+// dropping comments.
+func tokenizeSchema(src string) ([]string, error) {
+	var toks []string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if idx := strings.Index(line, "--"); idx >= 0 {
+			line = line[:idx]
+		}
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		rest := line
+		for rest != "" {
+			r := rest[0]
+			switch {
+			case r == ' ' || r == '\t':
+				rest = rest[1:]
+			case r == '(' || r == ')' || r == ',':
+				toks = append(toks, string(r))
+				rest = rest[1:]
+			case isIdentByte(r):
+				j := 1
+				for j < len(rest) && isIdentByte(rest[j]) {
+					j++
+				}
+				toks = append(toks, rest[:j])
+				rest = rest[j:]
+			default:
+				return nil, fmt.Errorf("schema: unexpected character %q", r)
+			}
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}

@@ -1,0 +1,439 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"activerules/internal/storage"
+)
+
+// Expr is a SQL expression node. Expressions are immutable after parsing
+// except for the resolution annotations filled in by Resolve.
+type Expr interface {
+	String() string
+	exprNode()
+}
+
+// Literal is a constant value (number, string, boolean, or null).
+type Literal struct {
+	Val storage.Value
+}
+
+func (*Literal) exprNode()        {}
+func (e *Literal) String() string { return e.Val.String() }
+
+// ColRef is a (possibly qualified) column reference. Resolve fills in
+// RTable (the underlying base table, which for a transition table is the
+// rule's triggering table) and RSource (the FROM-item alias it binds to).
+type ColRef struct {
+	Qualifier string // alias or table name; "" if unqualified
+	Column    string
+
+	// Resolution results (set by Resolve):
+	RTable  string // underlying base table name
+	RSource string // alias of the resolved FROM item
+	RIndex  int    // column position within the source
+}
+
+func (*ColRef) exprNode() {}
+func (e *ColRef) String() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Column
+	}
+	return e.Column
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UnaryNeg UnaryOp = iota // numeric negation
+	UnaryNot                // logical NOT (three-valued)
+)
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnaryOp
+	X  Expr
+}
+
+func (*Unary) exprNode() {}
+func (e *Unary) String() string {
+	if e.Op == UnaryNeg {
+		inner := parenthesize(e.X)
+		// A nested leading '-' would print as "--", which the lexer
+		// reads as a line comment; parenthesize it instead.
+		if strings.HasPrefix(inner, "-") {
+			inner = "(" + inner + ")"
+		}
+		return "-" + inner
+	}
+	return "not " + parenthesize(e.X)
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpText = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or",
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+func (e *Binary) String() string {
+	return parenthesize(e.L) + " " + binOpText[e.Op] + " " + parenthesize(e.R)
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+func (*IsNull) exprNode() {}
+func (e *IsNull) String() string {
+	if e.Negate {
+		return parenthesize(e.X) + " is not null"
+	}
+	return parenthesize(e.X) + " is null"
+}
+
+// InList is "expr [NOT] IN (v1, v2, ...)".
+type InList struct {
+	X      Expr
+	Vals   []Expr
+	Negate bool
+}
+
+func (*InList) exprNode() {}
+func (e *InList) String() string {
+	parts := make([]string, len(e.Vals))
+	for i, v := range e.Vals {
+		parts[i] = v.String()
+	}
+	s := parenthesize(e.X)
+	if e.Negate {
+		s += " not"
+	}
+	return s + " in (" + strings.Join(parts, ", ") + ")"
+}
+
+// InSelect is "expr [NOT] IN (select ...)".
+type InSelect struct {
+	X      Expr
+	Sub    *Select
+	Negate bool
+}
+
+func (*InSelect) exprNode() {}
+func (e *InSelect) String() string {
+	s := parenthesize(e.X)
+	if e.Negate {
+		s += " not"
+	}
+	return s + " in (" + e.Sub.String() + ")"
+}
+
+// Exists is "[NOT] EXISTS (select ...)".
+type Exists struct {
+	Sub    *Select
+	Negate bool
+}
+
+func (*Exists) exprNode() {}
+func (e *Exists) String() string {
+	if e.Negate {
+		return "not exists (" + e.Sub.String() + ")"
+	}
+	return "exists (" + e.Sub.String() + ")"
+}
+
+// ScalarSubquery is "(select ...)" used as a value. Evaluation requires
+// the subquery to produce a single column; zero rows yield null and more
+// than one row is a runtime error.
+type ScalarSubquery struct {
+	Sub *Select
+}
+
+func (*ScalarSubquery) exprNode()        {}
+func (e *ScalarSubquery) String() string { return "(" + e.Sub.String() + ")" }
+
+// Aggregate is count(*) / count(x) / sum(x) / min(x) / max(x) / avg(x),
+// permitted only in select lists.
+type Aggregate struct {
+	Func string // canonical lowercase name
+	Arg  Expr   // nil for count(*)
+}
+
+func (*Aggregate) exprNode() {}
+func (e *Aggregate) String() string {
+	if e.Arg == nil {
+		return e.Func + "(*)"
+	}
+	return e.Func + "(" + e.Arg.String() + ")"
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *Binary:
+		return "(" + e.String() + ")"
+	default:
+		return e.String()
+	}
+}
+
+// TransKind identifies which transition table a FROM item refers to, if
+// any (Section 2: inserted, deleted, new-updated, old-updated).
+type TransKind int
+
+// Transition-table kinds; TransNone marks a base-table reference.
+const (
+	TransNone TransKind = iota
+	TransInserted
+	TransDeleted
+	TransNewUpdated
+	TransOldUpdated
+)
+
+// String returns the surface syntax of the transition-table name.
+func (k TransKind) String() string {
+	switch k {
+	case TransInserted:
+		return "inserted"
+	case TransDeleted:
+		return "deleted"
+	case TransNewUpdated:
+		return "new-updated"
+	case TransOldUpdated:
+		return "old-updated"
+	default:
+		return ""
+	}
+}
+
+// TableRef is one FROM item: a base table or transition table, optionally
+// aliased. Resolve fills in Trans and RTable.
+type TableRef struct {
+	Name  string // as written (lowercased); may be a transition-table name
+	Alias string // effective alias ("" means Name)
+
+	// Resolution results:
+	Trans  TransKind
+	RTable string // underlying base table name
+}
+
+// EffectiveAlias is the name by which columns may qualify this item.
+func (t *TableRef) EffectiveAlias() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+func (t *TableRef) String() string {
+	if t.Alias != "" && t.Alias != t.Name {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// SelectItem is one entry of a select list.
+type SelectItem struct {
+	Expr Expr // nil means "*"
+}
+
+func (s SelectItem) String() string {
+	if s.Expr == nil {
+		return "*"
+	}
+	return s.Expr.String()
+}
+
+// Statement is a SQL statement usable in a rule action (or, for Select,
+// in a rule condition subquery / observable retrieval).
+type Statement interface {
+	String() string
+	stmtNode()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " desc"
+	}
+	return o.Expr.String()
+}
+
+// Select is a query block. GROUP BY is not supported: a select list with
+// any aggregate produces a single row aggregated over all matches.
+// ORDER BY sorts the result (nulls last); LIMIT truncates it.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []*TableRef
+	Where    Expr // nil means true
+	// GroupBy partitions the matches; every entry must be a column
+	// reference, and every non-aggregate select item must be one of the
+	// grouping columns.
+	GroupBy []Expr
+	// Having filters groups; it may mix aggregates and grouping columns.
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int // -1 means no limit
+}
+
+func (*Select) stmtNode() {}
+func (s *Select) String() string {
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		parts[i] = it.String()
+	}
+	out := "select "
+	if s.Distinct {
+		out += "distinct "
+	}
+	out += strings.Join(parts, ", ")
+	if len(s.From) > 0 {
+		froms := make([]string, len(s.From))
+		for i, f := range s.From {
+			froms[i] = f.String()
+		}
+		out += " from " + strings.Join(froms, ", ")
+	}
+	if s.Where != nil {
+		out += " where " + s.Where.String()
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keys[i] = g.String()
+		}
+		out += " group by " + strings.Join(keys, ", ")
+	}
+	if s.Having != nil {
+		out += " having " + s.Having.String()
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.String()
+		}
+		out += " order by " + strings.Join(keys, ", ")
+	}
+	if s.Limit >= 0 {
+		out += fmt.Sprintf(" limit %d", s.Limit)
+	}
+	return out
+}
+
+// Insert adds rows to a table, either literal VALUES rows or the result
+// of a query. Columns optionally names a subset/permutation of the target
+// columns; unnamed columns receive null.
+type Insert struct {
+	Table   string
+	Columns []string // empty means all columns in schema order
+	Rows    [][]Expr // VALUES form (exclusive with Query)
+	Query   *Select  // INSERT ... SELECT form
+}
+
+func (*Insert) stmtNode() {}
+func (s *Insert) String() string {
+	out := "insert into " + s.Table
+	if len(s.Columns) > 0 {
+		out += " (" + strings.Join(s.Columns, ", ") + ")"
+	}
+	if s.Query != nil {
+		return out + " " + s.Query.String()
+	}
+	rows := make([]string, len(s.Rows))
+	for i, r := range s.Rows {
+		vals := make([]string, len(r))
+		for j, e := range r {
+			vals[j] = e.String()
+		}
+		rows[i] = "(" + strings.Join(vals, ", ") + ")"
+	}
+	return out + " values " + strings.Join(rows, ", ")
+}
+
+// Delete removes the tuples of a table matching Where (all tuples when
+// Where is nil).
+type Delete struct {
+	Table string
+	Where Expr
+	// FromTrans optionally restricts the statement to transition-table
+	// scoping: "delete from t where t.id in (select id from deleted)"
+	// is expressed with a subquery; no special field is needed.
+}
+
+func (*Delete) stmtNode() {}
+func (s *Delete) String() string {
+	out := "delete from " + s.Table
+	if s.Where != nil {
+		out += " where " + s.Where.String()
+	}
+	return out
+}
+
+// SetClause is one "col = expr" of an UPDATE.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// Update modifies the matching tuples of a table.
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+func (*Update) stmtNode() {}
+func (s *Update) String() string {
+	parts := make([]string, len(s.Sets))
+	for i, sc := range s.Sets {
+		parts[i] = sc.Column + " = " + sc.Expr.String()
+	}
+	out := "update " + s.Table + " set " + strings.Join(parts, ", ")
+	if s.Where != nil {
+		out += " where " + s.Where.String()
+	}
+	return out
+}
+
+// Rollback aborts the transaction; in Starburst it is the canonical
+// observable action (Section 3, Observable).
+type Rollback struct{}
+
+func (*Rollback) stmtNode()        {}
+func (s *Rollback) String() string { return "rollback" }

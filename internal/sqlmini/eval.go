@@ -1,0 +1,989 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"activerules/internal/storage"
+)
+
+// TransitionData supplies the materialized transition tables of the rule
+// being evaluated (Section 2). Each row has the full column layout of the
+// rule's triggering table.
+type TransitionData struct {
+	Inserted   [][]storage.Value
+	Deleted    [][]storage.Value
+	NewUpdated [][]storage.Value
+	OldUpdated [][]storage.Value
+}
+
+func (td *TransitionData) rows(k TransKind) [][]storage.Value {
+	if td == nil {
+		return nil
+	}
+	switch k {
+	case TransInserted:
+		return td.Inserted
+	case TransDeleted:
+		return td.Deleted
+	case TransNewUpdated:
+		return td.NewUpdated
+	case TransOldUpdated:
+		return td.OldUpdated
+	default:
+		return nil
+	}
+}
+
+// Mutator receives the data modifications performed by statement
+// execution. The rule engine implements it to record per-statement deltas
+// for net-effect transition tracking.
+type Mutator interface {
+	Insert(table string, vals []storage.Value) (storage.TupleID, error)
+	Delete(table string, id storage.TupleID) error
+	Update(table string, id storage.TupleID, col string, v storage.Value) error
+}
+
+// dbMutator applies mutations directly to a DB, for standalone use.
+type dbMutator struct{ db *storage.DB }
+
+func (m dbMutator) Insert(table string, vals []storage.Value) (storage.TupleID, error) {
+	return m.db.Insert(table, vals)
+}
+
+func (m dbMutator) Delete(table string, id storage.TupleID) error {
+	if m.db.Delete(table, id) == nil {
+		return fmt.Errorf("sql: delete of missing tuple %d from %s", id, table)
+	}
+	return nil
+}
+
+func (m dbMutator) Update(table string, id storage.TupleID, col string, v storage.Value) error {
+	_, err := m.db.Update(table, id, col, v)
+	return err
+}
+
+// DirectMutator returns a Mutator that applies changes straight to db,
+// with no delta recording. Useful for scripts and tests.
+func DirectMutator(db *storage.DB) Mutator { return dbMutator{db} }
+
+// Evaluator executes resolved statements and expressions against a
+// database. Trans may be nil when no rule is in scope; Mut may be nil for
+// read-only evaluation (mutating statements then fail).
+type Evaluator struct {
+	DB    *storage.DB
+	Trans *TransitionData
+	Mut   Mutator
+}
+
+// StmtResult is the outcome of executing one statement.
+type StmtResult struct {
+	Rows     [][]storage.Value // SELECT only
+	Affected int               // rows inserted/deleted/updated
+	Rolled   bool              // ROLLBACK executed
+}
+
+// ErrDivisionByZero is returned when integer or float division divides by
+// zero (SQL would raise an error too).
+var ErrDivisionByZero = errors.New("sql: division by zero")
+
+// predTruth interprets a WHERE result: true satisfies; false and null do
+// not; any other kind is a type error.
+func predTruth(v storage.Value) (bool, error) {
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind != storage.KindBool {
+		return false, fmt.Errorf("sql: WHERE clause evaluated to non-boolean %s", v)
+	}
+	return v.B, nil
+}
+
+// frame is one runtime binding of a FROM item alias to a concrete row.
+type frame struct {
+	alias string
+	row   []storage.Value
+	prev  *frame
+}
+
+func (f *frame) lookup(alias string) *frame {
+	for cur := f; cur != nil; cur = cur.prev {
+		if cur.alias == alias {
+			return cur
+		}
+	}
+	return nil
+}
+
+// Exec executes one resolved statement.
+func (ev *Evaluator) Exec(st Statement) (StmtResult, error) {
+	return ev.exec(st, nil)
+}
+
+func (ev *Evaluator) exec(st Statement, env *frame) (StmtResult, error) {
+	switch s := st.(type) {
+	case *Select:
+		rows, err := ev.evalSelect(s, env)
+		return StmtResult{Rows: rows}, err
+	case *Insert:
+		return ev.execInsert(s, env)
+	case *Delete:
+		return ev.execDelete(s, env)
+	case *Update:
+		return ev.execUpdate(s, env)
+	case *Rollback:
+		return StmtResult{Rolled: true}, nil
+	default:
+		return StmtResult{}, fmt.Errorf("sql: cannot execute %T", st)
+	}
+}
+
+// EvalPredicate evaluates a resolved condition expression; SQL semantics:
+// only a definite true satisfies the predicate (false and unknown do not).
+func (ev *Evaluator) EvalPredicate(e Expr) (bool, error) {
+	v, err := ev.evalExpr(e, nil)
+	if err != nil {
+		return false, err
+	}
+	return v.Kind == storage.KindBool && v.B, nil
+}
+
+// sourceRows materializes the rows of one FROM item.
+func (ev *Evaluator) sourceRows(tr *TableRef) ([][]storage.Value, error) {
+	if tr.Trans != TransNone {
+		return ev.Trans.rows(tr.Trans), nil
+	}
+	t := ev.DB.Table(tr.RTable)
+	if t == nil {
+		return nil, fmt.Errorf("sql: missing table %q", tr.RTable)
+	}
+	rows := make([][]storage.Value, 0, t.Len())
+	t.Scan(func(tu *storage.Tuple) bool {
+		row := make([]storage.Value, len(tu.Vals))
+		copy(row, tu.Vals)
+		rows = append(rows, row)
+		return true
+	})
+	return rows, nil
+}
+
+// evalSelect produces the result rows of a query block.
+func (ev *Evaluator) evalSelect(s *Select, env *frame) ([][]storage.Value, error) {
+	// Materialize each source once (nested-loop join).
+	sources := make([][][]storage.Value, len(s.From))
+	for i, tr := range s.From {
+		rows, err := ev.sourceRows(tr)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = rows
+	}
+	var matches []*frame
+	var walk func(i int, env *frame) error
+	walk = func(i int, cur *frame) error {
+		if i == len(s.From) {
+			if s.Where != nil {
+				v, err := ev.evalExpr(s.Where, cur)
+				if err != nil {
+					return err
+				}
+				ok, err := predTruth(v)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			matches = append(matches, cur)
+			return nil
+		}
+		alias := s.From[i].EffectiveAlias()
+		for _, row := range sources[i] {
+			if err := walk(i+1, &frame{alias: alias, row: row, prev: cur}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// A query with no FROM evaluates its items once against env.
+	if len(s.From) == 0 {
+		matches = []*frame{env}
+	} else if err := walk(0, env); err != nil {
+		return nil, err
+	}
+
+	if len(s.GroupBy) > 0 {
+		return ev.evalGroupedSelect(s, matches)
+	}
+
+	if hasAggregateItems(s) {
+		out := make([]storage.Value, len(s.Items))
+		for i, it := range s.Items {
+			agg := it.Expr.(*Aggregate)
+			v, err := ev.evalAggregate(agg, matches)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return [][]storage.Value{out}, nil
+	}
+
+	if len(s.OrderBy) > 0 {
+		if err := ev.sortMatches(s, matches); err != nil {
+			return nil, err
+		}
+	}
+
+	results := make([][]storage.Value, 0, len(matches))
+	for _, m := range matches {
+		if len(s.Items) == 1 && s.Items[0].Expr == nil {
+			// '*': concatenate source rows in FROM order.
+			var row []storage.Value
+			for _, tr := range s.From {
+				f := m.lookup(tr.EffectiveAlias())
+				row = append(row, f.row...)
+			}
+			results = append(results, row)
+			continue
+		}
+		row := make([]storage.Value, len(s.Items))
+		for i, it := range s.Items {
+			v, err := ev.evalExpr(it.Expr, m)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		results = append(results, row)
+	}
+	if s.Distinct {
+		results = dedupRows(results)
+	}
+	// LIMIT applies after projection and DISTINCT, keeping the (sorted)
+	// prefix.
+	if s.Limit >= 0 && len(results) > s.Limit {
+		results = results[:s.Limit]
+	}
+	return results, nil
+}
+
+// dedupRows removes duplicate projected rows, keeping first occurrences
+// (which preserves any ORDER BY placement).
+func dedupRows(rows [][]storage.Value) [][]storage.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		var key []byte
+		for _, v := range row {
+			key = v.AppendCanonical(key)
+			key = append(key, ',')
+		}
+		k := string(key)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+// sortMatches stably sorts the match frames by the ORDER BY keys: nulls
+// sort last (ascending) / first (descending); incomparable non-null
+// kinds are an error.
+func (ev *Evaluator) sortMatches(s *Select, matches []*frame) error {
+	keys := make([][]storage.Value, len(matches))
+	for i, m := range matches {
+		keys[i] = make([]storage.Value, len(s.OrderBy))
+		for k, o := range s.OrderBy {
+			v, err := ev.evalExpr(o.Expr, m)
+			if err != nil {
+				return err
+			}
+			keys[i][k] = v
+		}
+	}
+	var sortErr error
+	// Indirect stable sort over indices, then permute.
+	idx := make([]int, len(matches))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, o := range s.OrderBy {
+			va, vb := keys[idx[a]][k], keys[idx[b]][k]
+			switch {
+			case va.IsNull() && vb.IsNull():
+				continue
+			case va.IsNull():
+				return o.Desc // nulls last ascending, first descending
+			case vb.IsNull():
+				return !o.Desc
+			}
+			cmp, known := va.Compare(vb)
+			if !known {
+				if sortErr == nil {
+					sortErr = fmt.Errorf("sql: ORDER BY over incomparable values %s and %s", va, vb)
+				}
+				return false
+			}
+			if cmp == 0 {
+				continue
+			}
+			if o.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([]*frame, len(matches))
+	for i, j := range idx {
+		sorted[i] = matches[j]
+	}
+	copy(matches, sorted)
+	return nil
+}
+
+func (ev *Evaluator) evalAggregate(agg *Aggregate, matches []*frame) (storage.Value, error) {
+	if agg.Func == "count" && agg.Arg == nil {
+		return storage.IntV(int64(len(matches))), nil
+	}
+	var vals []storage.Value
+	for _, m := range matches {
+		v, err := ev.evalExpr(agg.Arg, m)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	switch agg.Func {
+	case "count":
+		return storage.IntV(int64(len(vals))), nil
+	case "sum", "avg":
+		if len(vals) == 0 {
+			return storage.Null, nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			if !v.IsNumeric() {
+				return storage.Value{}, fmt.Errorf("sql: %s over non-numeric value %s", agg.Func, v)
+			}
+			if v.Kind != storage.KindInt {
+				allInt = false
+			}
+			fsum += v.AsFloat()
+			if v.Kind == storage.KindInt {
+				isum += v.I
+			}
+		}
+		if agg.Func == "avg" {
+			return storage.FloatV(fsum / float64(len(vals))), nil
+		}
+		if allInt {
+			return storage.IntV(isum), nil
+		}
+		return storage.FloatV(fsum), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return storage.Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp, known := v.Compare(best)
+			if !known {
+				return storage.Value{}, fmt.Errorf("sql: %s over incomparable values %s and %s", agg.Func, v, best)
+			}
+			if agg.Func == "min" && cmp < 0 || agg.Func == "max" && cmp > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return storage.Value{}, fmt.Errorf("sql: unknown aggregate %q", agg.Func)
+	}
+}
+
+func (ev *Evaluator) requireMut() error {
+	if ev.Mut == nil {
+		return fmt.Errorf("sql: mutating statement in read-only context")
+	}
+	return nil
+}
+
+func (ev *Evaluator) execInsert(s *Insert, env *frame) (StmtResult, error) {
+	if err := ev.requireMut(); err != nil {
+		return StmtResult{}, err
+	}
+	def := ev.DB.Schema().Table(s.Table)
+	var srcRows [][]storage.Value
+	if s.Query != nil {
+		rows, err := ev.evalSelect(s.Query, env)
+		if err != nil {
+			return StmtResult{}, err
+		}
+		srcRows = rows
+	} else {
+		for _, row := range s.Rows {
+			vals := make([]storage.Value, len(row))
+			for i, e := range row {
+				v, err := ev.evalExpr(e, env)
+				if err != nil {
+					return StmtResult{}, err
+				}
+				vals[i] = v
+			}
+			srcRows = append(srcRows, vals)
+		}
+	}
+	n := 0
+	for _, src := range srcRows {
+		full := src
+		if len(s.Columns) > 0 {
+			full = make([]storage.Value, len(def.Columns))
+			for i := range full {
+				full[i] = storage.Null
+			}
+			for i, c := range s.Columns {
+				full[def.ColumnIndex(c)] = src[i]
+			}
+		}
+		if _, err := ev.Mut.Insert(s.Table, full); err != nil {
+			return StmtResult{}, err
+		}
+		n++
+	}
+	return StmtResult{Affected: n}, nil
+}
+
+func (ev *Evaluator) execDelete(s *Delete, env *frame) (StmtResult, error) {
+	if err := ev.requireMut(); err != nil {
+		return StmtResult{}, err
+	}
+	t := ev.DB.Table(s.Table)
+	var ids []storage.TupleID
+	var scanErr error
+	t.Scan(func(tu *storage.Tuple) bool {
+		if s.Where != nil {
+			f := &frame{alias: s.Table, row: tu.Vals, prev: env}
+			v, err := ev.evalExpr(s.Where, f)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			ok, err := predTruth(v)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		ids = append(ids, tu.ID)
+		return true
+	})
+	if scanErr != nil {
+		return StmtResult{}, scanErr
+	}
+	for _, id := range ids {
+		if err := ev.Mut.Delete(s.Table, id); err != nil {
+			return StmtResult{}, err
+		}
+	}
+	return StmtResult{Affected: len(ids)}, nil
+}
+
+func (ev *Evaluator) execUpdate(s *Update, env *frame) (StmtResult, error) {
+	if err := ev.requireMut(); err != nil {
+		return StmtResult{}, err
+	}
+	t := ev.DB.Table(s.Table)
+	type change struct {
+		id   storage.TupleID
+		vals []storage.Value // one per set clause
+	}
+	var changes []change
+	var scanErr error
+	// SQL semantics: all right-hand sides are evaluated against the
+	// pre-update state; apply only afterwards.
+	t.Scan(func(tu *storage.Tuple) bool {
+		f := &frame{alias: s.Table, row: tu.Vals, prev: env}
+		if s.Where != nil {
+			v, err := ev.evalExpr(s.Where, f)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			ok, err := predTruth(v)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		ch := change{id: tu.ID, vals: make([]storage.Value, len(s.Sets))}
+		for i, sc := range s.Sets {
+			v, err := ev.evalExpr(sc.Expr, f)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			ch.vals[i] = v
+		}
+		changes = append(changes, ch)
+		return true
+	})
+	if scanErr != nil {
+		return StmtResult{}, scanErr
+	}
+	for _, ch := range changes {
+		for i, sc := range s.Sets {
+			if err := ev.Mut.Update(s.Table, ch.id, sc.Column, ch.vals[i]); err != nil {
+				return StmtResult{}, err
+			}
+		}
+	}
+	return StmtResult{Affected: len(changes)}, nil
+}
+
+// evalExpr evaluates an expression with three-valued logic; unknown is
+// represented as the null value.
+func (ev *Evaluator) evalExpr(e Expr, env *frame) (storage.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColRef:
+		f := env.lookup(x.RSource)
+		if f == nil {
+			return storage.Value{}, fmt.Errorf("sql: unbound column %s (source %q)", x, x.RSource)
+		}
+		if x.RIndex >= len(f.row) {
+			return storage.Value{}, fmt.Errorf("sql: column index %d out of range for %s", x.RIndex, x)
+		}
+		return f.row[x.RIndex], nil
+	case *Unary:
+		v, err := ev.evalExpr(x.X, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return applyUnary(x.Op, v)
+	case *Binary:
+		return ev.evalBinary(x, env)
+	case *IsNull:
+		v, err := ev.evalExpr(x.X, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.BoolV(v.IsNull() != x.Negate), nil
+	case *InList:
+		v, err := ev.evalExpr(x.X, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		vals := make([]storage.Value, len(x.Vals))
+		for i, ve := range x.Vals {
+			vv, err := ev.evalExpr(ve, env)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			vals[i] = vv
+		}
+		return inResult(v, vals, x.Negate), nil
+	case *InSelect:
+		v, err := ev.evalExpr(x.X, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		rows, err := ev.evalSelect(x.Sub, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		vals := make([]storage.Value, len(rows))
+		for i, r := range rows {
+			vals[i] = r[0]
+		}
+		return inResult(v, vals, x.Negate), nil
+	case *Exists:
+		rows, err := ev.evalSelect(x.Sub, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.BoolV((len(rows) > 0) != x.Negate), nil
+	case *ScalarSubquery:
+		rows, err := ev.evalSelect(x.Sub, env)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		switch len(rows) {
+		case 0:
+			return storage.Null, nil
+		case 1:
+			return rows[0][0], nil
+		default:
+			return storage.Value{}, fmt.Errorf("sql: scalar subquery returned %d rows", len(rows))
+		}
+	case *Aggregate:
+		return storage.Value{}, fmt.Errorf("sql: aggregate %s outside select list", x.Func)
+	default:
+		return storage.Value{}, fmt.Errorf("sql: cannot evaluate %T", e)
+	}
+}
+
+// inResult computes SQL IN semantics with nulls: true if any member
+// equals, unknown (null) if no member equals but some comparison was
+// unknown, false otherwise. Negate flips true/false but leaves unknown.
+func inResult(v storage.Value, members []storage.Value, negate bool) storage.Value {
+	sawUnknown := false
+	for _, m := range members {
+		cmp, known := v.Compare(m)
+		if !known {
+			sawUnknown = true
+			continue
+		}
+		if cmp == 0 {
+			return storage.BoolV(!negate)
+		}
+	}
+	if sawUnknown {
+		return storage.Null
+	}
+	return storage.BoolV(negate)
+}
+
+func (ev *Evaluator) evalBinary(x *Binary, env *frame) (storage.Value, error) {
+	l, err := ev.evalExpr(x.L, env)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	r, err := ev.evalExpr(x.R, env)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	return applyBinary(x.Op, l, r)
+}
+
+// applyBinary applies a binary operator to already-evaluated operands
+// (expression evaluation has no side effects, so AND/OR need no
+// short-circuiting — only Kleene null handling).
+func applyBinary(op BinaryOp, l, r storage.Value) (storage.Value, error) {
+	if op == OpAnd || op == OpOr {
+		lb, lNull, err := boolOrNull(l)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		rb, rNull, err := boolOrNull(r)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if op == OpAnd {
+			switch {
+			case !lNull && !lb, !rNull && !rb:
+				return storage.BoolV(false), nil
+			case lNull || rNull:
+				return storage.Null, nil
+			default:
+				return storage.BoolV(true), nil
+			}
+		}
+		switch {
+		case !lNull && lb, !rNull && rb:
+			return storage.BoolV(true), nil
+		case lNull || rNull:
+			return storage.Null, nil
+		default:
+			return storage.BoolV(false), nil
+		}
+	}
+
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		cmp, known := l.Compare(r)
+		if !known {
+			if l.IsNull() || r.IsNull() {
+				return storage.Null, nil
+			}
+			return storage.Value{}, fmt.Errorf("sql: cannot compare %s with %s", l, r)
+		}
+		var b bool
+		switch op {
+		case OpEq:
+			b = cmp == 0
+		case OpNe:
+			b = cmp != 0
+		case OpLt:
+			b = cmp < 0
+		case OpLe:
+			b = cmp <= 0
+		case OpGt:
+			b = cmp > 0
+		case OpGe:
+			b = cmp >= 0
+		}
+		return storage.BoolV(b), nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if l.IsNull() || r.IsNull() {
+			return storage.Null, nil
+		}
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return storage.Value{}, fmt.Errorf("sql: arithmetic on non-numeric values %s, %s", l, r)
+		}
+		if l.Kind == storage.KindInt && r.Kind == storage.KindInt {
+			a, b := l.I, r.I
+			switch op {
+			case OpAdd:
+				return storage.IntV(a + b), nil
+			case OpSub:
+				return storage.IntV(a - b), nil
+			case OpMul:
+				return storage.IntV(a * b), nil
+			case OpDiv:
+				if b == 0 {
+					return storage.Value{}, ErrDivisionByZero
+				}
+				return storage.IntV(a / b), nil
+			case OpMod:
+				if b == 0 {
+					return storage.Value{}, ErrDivisionByZero
+				}
+				return storage.IntV(a % b), nil
+			}
+		}
+		if op == OpMod {
+			return storage.Value{}, fmt.Errorf("sql: %% requires integer operands")
+		}
+		a, b := l.AsFloat(), r.AsFloat()
+		switch op {
+		case OpAdd:
+			return storage.FloatV(a + b), nil
+		case OpSub:
+			return storage.FloatV(a - b), nil
+		case OpMul:
+			return storage.FloatV(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return storage.Value{}, ErrDivisionByZero
+			}
+			return storage.FloatV(a / b), nil
+		}
+	}
+	return storage.Value{}, fmt.Errorf("sql: unknown binary op %d", op)
+}
+
+// boolOrNull extracts a boolean with a null flag, erroring for other kinds.
+func boolOrNull(v storage.Value) (b, isNull bool, err error) {
+	if v.IsNull() {
+		return false, true, nil
+	}
+	if v.Kind != storage.KindBool {
+		return false, false, fmt.Errorf("sql: expected boolean, got %s", v)
+	}
+	return v.B, false, nil
+}
+
+// applyUnary applies a unary operator to an evaluated operand.
+func applyUnary(op UnaryOp, v storage.Value) (storage.Value, error) {
+	switch op {
+	case UnaryNeg:
+		if v.IsNull() {
+			return storage.Null, nil
+		}
+		switch v.Kind {
+		case storage.KindInt:
+			return storage.IntV(-v.I), nil
+		case storage.KindFloat:
+			return storage.FloatV(-v.F), nil
+		default:
+			return storage.Value{}, fmt.Errorf("sql: cannot negate %s", v)
+		}
+	case UnaryNot:
+		if v.IsNull() {
+			return storage.Null, nil
+		}
+		if v.Kind != storage.KindBool {
+			return storage.Value{}, fmt.Errorf("sql: NOT of non-boolean %s", v)
+		}
+		return storage.BoolV(!v.B), nil
+	default:
+		return storage.Value{}, fmt.Errorf("sql: unknown unary op %d", op)
+	}
+}
+
+// evalGroupedSelect implements GROUP BY / HAVING: matches are
+// partitioned by the canonical encodings of the grouping columns, each
+// group is filtered by HAVING and projected (aggregates over the group's
+// members, grouping columns from a representative member), and the
+// resulting group rows go through ORDER BY, DISTINCT, and LIMIT.
+func (ev *Evaluator) evalGroupedSelect(s *Select, matches []*frame) ([][]storage.Value, error) {
+	type group struct {
+		rep     *frame
+		members []*frame
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, m := range matches {
+		var key []byte
+		for _, g := range s.GroupBy {
+			v, err := ev.evalExpr(g, m)
+			if err != nil {
+				return nil, err
+			}
+			key = v.AppendCanonical(key)
+			key = append(key, ',')
+		}
+		k := string(key)
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{rep: m}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.members = append(gr.members, m)
+	}
+
+	type projected struct {
+		row  []storage.Value
+		keys []storage.Value // ORDER BY keys
+	}
+	var rows []projected
+	for _, k := range order {
+		gr := groups[k]
+		if s.Having != nil {
+			hv, err := ev.evalGroupExpr(s.Having, gr.rep, gr.members)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := predTruth(hv)
+			if err != nil {
+				return nil, fmt.Errorf("sql: HAVING: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		row := make([]storage.Value, len(s.Items))
+		for i, it := range s.Items {
+			v, err := ev.evalGroupExpr(it.Expr, gr.rep, gr.members)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		p := projected{row: row}
+		for _, o := range s.OrderBy {
+			v, err := ev.evalGroupExpr(o.Expr, gr.rep, gr.members)
+			if err != nil {
+				return nil, err
+			}
+			p.keys = append(p.keys, v)
+		}
+		rows = append(rows, p)
+	}
+
+	if len(s.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(a, b int) bool {
+			for k, o := range s.OrderBy {
+				va, vb := rows[a].keys[k], rows[b].keys[k]
+				switch {
+				case va.IsNull() && vb.IsNull():
+					continue
+				case va.IsNull():
+					return o.Desc
+				case vb.IsNull():
+					return !o.Desc
+				}
+				cmp, known := va.Compare(vb)
+				if !known {
+					if sortErr == nil {
+						sortErr = fmt.Errorf("sql: ORDER BY over incomparable values %s and %s", va, vb)
+					}
+					return false
+				}
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	out := make([][]storage.Value, 0, len(rows))
+	for _, p := range rows {
+		out = append(out, p.row)
+	}
+	if s.Distinct {
+		out = dedupRows(out)
+	}
+	if s.Limit >= 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return out, nil
+}
+
+// evalGroupExpr evaluates an expression in group context: aggregates are
+// computed over the group's members, everything else over the
+// representative row.
+func (ev *Evaluator) evalGroupExpr(e Expr, rep *frame, members []*frame) (storage.Value, error) {
+	switch x := e.(type) {
+	case *Aggregate:
+		return ev.evalAggregate(x, members)
+	case *Unary:
+		v, err := ev.evalGroupExpr(x.X, rep, members)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return applyUnary(x.Op, v)
+	case *Binary:
+		l, err := ev.evalGroupExpr(x.L, rep, members)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		r, err := ev.evalGroupExpr(x.R, rep, members)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return applyBinary(x.Op, l, r)
+	case *IsNull:
+		v, err := ev.evalGroupExpr(x.X, rep, members)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.BoolV(v.IsNull() != x.Negate), nil
+	case *InList:
+		v, err := ev.evalGroupExpr(x.X, rep, members)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		vals := make([]storage.Value, len(x.Vals))
+		for i, ve := range x.Vals {
+			vv, err := ev.evalGroupExpr(ve, rep, members)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			vals[i] = vv
+		}
+		return inResult(v, vals, x.Negate), nil
+	default:
+		return ev.evalExpr(e, rep)
+	}
+}

@@ -1,0 +1,356 @@
+package sqlmini
+
+import (
+	"errors"
+	"testing"
+
+	"activerules/internal/storage"
+)
+
+// evalFixture builds a database with a few employees and departments.
+func evalFixture(t *testing.T) (*Evaluator, *storage.DB) {
+	t.Helper()
+	db := storage.NewDB(testSchema())
+	db.MustInsert("emp", storage.IntV(1), storage.StringV("ann"), storage.FloatV(100), storage.IntV(10))
+	db.MustInsert("emp", storage.IntV(2), storage.StringV("bob"), storage.FloatV(200), storage.IntV(10))
+	db.MustInsert("emp", storage.IntV(3), storage.StringV("cyd"), storage.FloatV(300), storage.IntV(20))
+	db.MustInsert("dept", storage.IntV(10), storage.FloatV(1000))
+	db.MustInsert("dept", storage.IntV(20), storage.FloatV(2000))
+	return &Evaluator{DB: db, Mut: DirectMutator(db)}, db
+}
+
+func run(t *testing.T, ev *Evaluator, src string, rc *ResolveContext) StmtResult {
+	t.Helper()
+	st := mustStmt(t, src)
+	if rc == nil {
+		rc = &ResolveContext{Schema: ev.DB.Schema()}
+	}
+	if err := ResolveStatement(st, rc); err != nil {
+		t.Fatalf("resolve %q: %v", src, err)
+	}
+	res, err := ev.Exec(st)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return res
+}
+
+func runErr(t *testing.T, ev *Evaluator, src string) error {
+	t.Helper()
+	st := mustStmt(t, src)
+	if err := ResolveStatement(st, &ResolveContext{Schema: ev.DB.Schema()}); err != nil {
+		t.Fatalf("resolve %q: %v", src, err)
+	}
+	_, err := ev.Exec(st)
+	if err == nil {
+		t.Fatalf("exec %q: expected error", src)
+	}
+	return err
+}
+
+func TestSelectBasic(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select id, name from emp where sal > 150", nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 2 || res.Rows[0][1].S != "bob" {
+		t.Errorf("row 0 = %v", res.Rows[0])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select * from dept", nil)
+	if len(res.Rows) != 2 || len(res.Rows[0]) != 2 {
+		t.Fatalf("star select shape wrong: %v", res.Rows)
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select e.name, d.budget from emp e, dept d where e.dept = d.id and d.budget > 1500", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "cyd" {
+		t.Fatalf("join result = %v", res.Rows)
+	}
+	// Cross join with star concatenates rows.
+	res2 := run(t, ev, "select * from emp e, dept d", nil)
+	if len(res2.Rows) != 6 || len(res2.Rows[0]) != 6 {
+		t.Fatalf("cross join shape: %d x %d", len(res2.Rows), len(res2.Rows[0]))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select count(*), sum(sal), min(sal), max(sal), avg(sal) from emp", nil)
+	row := res.Rows[0]
+	if row[0].I != 3 || row[1].F != 600 || row[2].F != 100 || row[3].F != 300 || row[4].F != 200 {
+		t.Errorf("aggregates = %v", row)
+	}
+	// Aggregates over an empty match set.
+	res2 := run(t, ev, "select count(*), sum(sal), min(sal) from emp where sal > 999", nil)
+	row2 := res2.Rows[0]
+	if row2[0].I != 0 || !row2[1].IsNull() || !row2[2].IsNull() {
+		t.Errorf("empty aggregates = %v", row2)
+	}
+	// count(expr) skips nulls.
+	db := ev.DB
+	db.MustInsert("log", storage.IntV(1), storage.Null)
+	db.MustInsert("log", storage.IntV(2), storage.StringV("x"))
+	res3 := run(t, ev, "select count(msg) from log", nil)
+	if res3.Rows[0][0].I != 1 {
+		t.Errorf("count(msg) = %v", res3.Rows[0][0])
+	}
+	// Integer sum stays integral.
+	res4 := run(t, ev, "select sum(id) from emp", nil)
+	if res4.Rows[0][0].Kind != storage.KindInt || res4.Rows[0][0].I != 6 {
+		t.Errorf("sum(id) = %v", res4.Rows[0][0])
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select name from emp where sal = (select max(sal) from emp)", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "cyd" {
+		t.Errorf("scalar subquery: %v", res.Rows)
+	}
+	res2 := run(t, ev, "select name from emp where dept in (select id from dept where budget >= 2000)", nil)
+	if len(res2.Rows) != 1 || res2.Rows[0][0].S != "cyd" {
+		t.Errorf("in-select: %v", res2.Rows)
+	}
+	// Correlated exists.
+	res3 := run(t, ev, "select id from dept where exists (select 1 from emp where emp.dept = dept.id and emp.sal < 150)", nil)
+	if len(res3.Rows) != 1 || res3.Rows[0][0].I != 10 {
+		t.Errorf("correlated exists: %v", res3.Rows)
+	}
+	// not exists
+	res4 := run(t, ev, "select id from dept where not exists (select 1 from emp where emp.dept = dept.id)", nil)
+	if len(res4.Rows) != 0 {
+		t.Errorf("not exists: %v", res4.Rows)
+	}
+	// Scalar subquery with 0 rows yields null (no match, no error).
+	res5 := run(t, ev, "select name from emp where sal = (select budget from dept where id = 999)", nil)
+	if len(res5.Rows) != 0 {
+		t.Errorf("null scalar subquery should match nothing: %v", res5.Rows)
+	}
+	// Scalar subquery with >1 row is an error.
+	runErr(t, ev, "select name from emp where sal = (select budget from dept)")
+}
+
+func TestInsertForms(t *testing.T) {
+	ev, db := evalFixture(t)
+	res := run(t, ev, "insert into log values (1, 'a'), (2, 'b')", nil)
+	if res.Affected != 2 || db.Table("log").Len() != 2 {
+		t.Fatalf("insert values: %d", res.Affected)
+	}
+	// Column subset: msg gets null.
+	run(t, ev, "insert into log (id) values (3)", nil)
+	var gotNull bool
+	db.Table("log").Scan(func(tu *storage.Tuple) bool {
+		if tu.Vals[0].I == 3 {
+			gotNull = tu.Vals[1].IsNull()
+		}
+		return true
+	})
+	if !gotNull {
+		t.Error("unnamed column should be null")
+	}
+	// Insert-select.
+	res2 := run(t, ev, "insert into log select id, name from emp where dept = 10", nil)
+	if res2.Affected != 2 || db.Table("log").Len() != 5 {
+		t.Errorf("insert-select affected = %d, len = %d", res2.Affected, db.Table("log").Len())
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	ev, db := evalFixture(t)
+	res := run(t, ev, "delete from emp where dept = 10", nil)
+	if res.Affected != 2 || db.Table("emp").Len() != 1 {
+		t.Fatalf("delete affected = %d", res.Affected)
+	}
+	res2 := run(t, ev, "update emp set sal = sal * 2, dept = 99", nil)
+	if res2.Affected != 1 {
+		t.Fatalf("update affected = %d", res2.Affected)
+	}
+	var sal float64
+	var dept int64
+	db.Table("emp").Scan(func(tu *storage.Tuple) bool {
+		sal, dept = tu.Vals[2].F, tu.Vals[3].I
+		return true
+	})
+	if sal != 600 || dept != 99 {
+		t.Errorf("after update: sal=%v dept=%v", sal, dept)
+	}
+	// Delete everything.
+	res3 := run(t, ev, "delete from emp", nil)
+	if res3.Affected != 1 || db.Table("emp").Len() != 0 {
+		t.Error("delete all failed")
+	}
+}
+
+func TestUpdateRHSSeesPreState(t *testing.T) {
+	// Swap-like update: every tuple's new value is computed from the old
+	// state, even though earlier tuples have been modified.
+	ev, db := evalFixture(t)
+	run(t, ev, "update emp set sal = (select max(sal) from emp)", nil)
+	db.Table("emp").Scan(func(tu *storage.Tuple) bool {
+		if tu.Vals[2].F != 300 {
+			t.Errorf("tuple %d sal = %v, want 300 (pre-state max)", tu.ID, tu.Vals[2])
+		}
+		return true
+	})
+}
+
+func TestRollbackStatement(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "rollback", nil)
+	if !res.Rolled {
+		t.Error("rollback should set Rolled")
+	}
+}
+
+func TestTransitionTableEvaluation(t *testing.T) {
+	ev, db := evalFixture(t)
+	ev.Trans = &TransitionData{
+		Inserted: [][]storage.Value{
+			{storage.IntV(7), storage.StringV("new"), storage.FloatV(50), storage.IntV(10)},
+		},
+		OldUpdated: [][]storage.Value{
+			{storage.IntV(1), storage.StringV("ann"), storage.FloatV(90), storage.IntV(10)},
+		},
+		NewUpdated: [][]storage.Value{
+			{storage.IntV(1), storage.StringV("ann"), storage.FloatV(100), storage.IntV(10)},
+		},
+	}
+	rc := &ResolveContext{Schema: db.Schema(), RuleTable: "emp"}
+	res := run(t, ev, "select id, sal from inserted", rc)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+		t.Errorf("inserted rows: %v", res.Rows)
+	}
+	// Join of transition table against base table.
+	res2 := run(t, ev, "select e.name from emp e, new-updated nu, old-updated ou where e.id = nu.id and nu.id = ou.id and nu.sal > ou.sal", rc)
+	if len(res2.Rows) != 1 || res2.Rows[0][0].S != "ann" {
+		t.Errorf("transition join: %v", res2.Rows)
+	}
+	// Action inserting from a transition table.
+	res3 := run(t, ev, "insert into log select id, name from inserted", rc)
+	if res3.Affected != 1 || db.Table("log").Len() != 1 {
+		t.Error("insert from inserted failed")
+	}
+}
+
+func TestPredicateEvaluation(t *testing.T) {
+	ev, _ := evalFixture(t)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"exists (select 1 from emp where sal > 250)", true},
+		{"exists (select 1 from emp where sal > 999)", false},
+		{"(select count(*) from emp) = 3", true},
+		{"(select count(*) from emp) > 3", false},
+		{"1 < 2 and 2 < 3", true},
+		{"1 < 2 and 2 > 3", false},
+		{"1 > 2 or 2 < 3", true},
+		{"not (1 = 2)", true},
+		{"null = 1", false},       // unknown is not satisfied
+		{"not (null = 1)", false}, // not unknown is unknown
+		{"null is null", true},
+		{"1 is not null", true},
+		{"2 in (1, 2, 3)", true},
+		{"2 not in (1, 2, 3)", false},
+		{"5 in (1, null)", false},     // unknown
+		{"5 not in (1, null)", false}, // unknown
+		{"5 in (5, null)", true},
+		{"1 + 1 = 2", true},
+		{"3 % 2 = 1", true},
+		{"7 / 2 = 3", true},     // integer division
+		{"7.0 / 2 = 3.5", true}, // float division
+		{"2 * 2.5 = 5", true},   // mixed arithmetic
+		{"-(-3) = 3", true},
+		{"'abc' < 'abd'", true},
+		{"true or null", true},    // Kleene
+		{"false and null", false}, // Kleene: definite false
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", c.src, err)
+			continue
+		}
+		if err := ResolveExpr(e, &ResolveContext{Schema: ev.DB.Schema()}); err != nil {
+			t.Errorf("resolve %q: %v", c.src, err)
+			continue
+		}
+		got, err := ev.EvalPredicate(e)
+		if err != nil {
+			t.Errorf("eval %q: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalPredicate(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestKleeneUnknownPropagation(t *testing.T) {
+	ev, _ := evalFixture(t)
+	cases := []struct {
+		src  string
+		want storage.Value
+	}{
+		{"null and true", storage.Null},
+		{"null or false", storage.Null},
+		{"null and false", storage.BoolV(false)},
+		{"null or true", storage.BoolV(true)},
+		{"not null", storage.Null},
+		{"null + 1", storage.Null},
+		{"-null", storage.Null},
+		{"null < 5", storage.Null},
+	}
+	for _, c := range cases {
+		e, _ := ParseExpr(c.src)
+		if err := ResolveExpr(e, &ResolveContext{Schema: ev.DB.Schema()}); err != nil {
+			t.Fatalf("resolve %q: %v", c.src, err)
+		}
+		got, err := ev.evalExpr(e, nil)
+		if err != nil {
+			t.Errorf("eval %q: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ev, _ := evalFixture(t)
+	if err := runErr(t, ev, "select 1 / 0 from emp"); !errors.Is(err, ErrDivisionByZero) {
+		t.Errorf("want ErrDivisionByZero, got %v", err)
+	}
+	runErr(t, ev, "select 'a' + 1 from emp")
+	runErr(t, ev, "select name from emp where name") // non-boolean where is fine? where name -> string value, not bool...
+	runErr(t, ev, "select -name from emp")
+	runErr(t, ev, "select sum(name) from emp")
+	// Mutating statement without a Mutator.
+	ro := &Evaluator{DB: ev.DB}
+	st := mustStmt(t, "delete from emp")
+	if err := ResolveStatement(st, &ResolveContext{Schema: ev.DB.Schema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.Exec(st); err == nil {
+		t.Error("mutation without Mutator should fail")
+	}
+}
+
+func TestWhereNonBooleanIsNotMatch(t *testing.T) {
+	// A where clause evaluating to a non-boolean, non-null value is a type
+	// error in our subset (strict), verified by TestEvalErrors. A null
+	// where is simply no match.
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select id from emp where null = null", nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("null where matched rows: %v", res.Rows)
+	}
+}

@@ -1,0 +1,182 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"activerules/internal/storage"
+)
+
+func TestGroupByBasic(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select dept, count(*), sum(sal) from emp group by dept order by dept", nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	if res.Rows[0][0].I != 10 || res.Rows[0][1].I != 2 || res.Rows[0][2].F != 300 {
+		t.Errorf("group 10 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].I != 20 || res.Rows[1][1].I != 1 || res.Rows[1][2].F != 300 {
+		t.Errorf("group 20 = %v", res.Rows[1])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select dept from emp group by dept having count(*) > 1", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 10 {
+		t.Errorf("having filter = %v", res.Rows)
+	}
+	// HAVING over an aggregate expression.
+	res2 := run(t, ev, "select dept from emp group by dept having sum(sal) >= 300 and dept < 100 order by dept", nil)
+	if len(res2.Rows) != 2 {
+		t.Errorf("having expr = %v", res2.Rows)
+	}
+}
+
+func TestGroupByOrderAndLimit(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select dept, count(*) from emp group by dept order by dept desc limit 1", nil)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 20 {
+		t.Errorf("order/limit over groups = %v", res.Rows)
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	ev, db := evalFixture(t)
+	db.MustInsert("emp", storage.IntV(4), storage.StringV("ann"), storage.FloatV(50), storage.IntV(10))
+	res := run(t, ev, "select dept, name, count(*) from emp group by dept, name order by dept, name", nil)
+	if len(res.Rows) != 3 { // (10,ann) x2, (10,bob), (20,cyd)
+		t.Fatalf("multi-key groups = %v", res.Rows)
+	}
+	// (10, ann) has two rows.
+	found := false
+	for _, r := range res.Rows {
+		if r[0].I == 10 && r[1].S == "ann" && r[2].I == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected (10, ann, 2): %v", res.Rows)
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select dept, count(*) from emp where sal > 9999 group by dept", nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("no matches should produce no groups: %v", res.Rows)
+	}
+}
+
+func TestGroupByPrintRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"select dept, count(*) from emp group by dept",
+		"select dept from emp group by dept having count(*) > 1 order by dept limit 5",
+		"select dept, name from emp group by dept, name",
+	} {
+		st := mustStmt(t, src)
+		printed := st.String()
+		st2, err := ParseStatement(printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		if st2.String() != printed {
+			t.Errorf("print unstable: %q vs %q", printed, st2.String())
+		}
+	}
+}
+
+func TestGroupByResolveErrors(t *testing.T) {
+	bad := []string{
+		"select name from emp group by dept",                      // item not a grouping col
+		"select * from emp group by dept",                         // star with group by
+		"select dept from emp group by dept + 1",                  // non-colref key
+		"select dept from emp group by dept having name = 'x'",    // having non-grouping col
+		"select dept from emp group by dept order by sal",         // order key not grouping col
+		"select dept from emp group by nocol",                     // unknown column
+		"select dept from emp group by dept having count(sum(1))", // nested aggregate (parse ok, resolve must fail)
+	}
+	for _, src := range bad {
+		st, err := ParseStatement(src)
+		if err != nil {
+			continue // some are parse-time errors; fine either way
+		}
+		if err := ResolveStatement(st, plainCtx()); err == nil {
+			t.Errorf("resolve %q should fail", src)
+		}
+	}
+}
+
+func TestGroupByInRuleCondition(t *testing.T) {
+	// Grouped subqueries work inside conditions via EXISTS.
+	e, err := ParseExpr("exists (select dept from emp group by dept having count(*) > 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ResolveExpr(e, plainCtx()); err != nil {
+		t.Fatal(err)
+	}
+	ev, db := evalFixture(t)
+	got, err := ev.EvalPredicate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("no dept has 3 employees yet")
+	}
+	db.MustInsert("emp", storage.IntV(5), storage.StringV("dee"), storage.FloatV(10), storage.IntV(10))
+	got2, err := ev.EvalPredicate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2 {
+		t.Error("dept 10 now has 3 employees")
+	}
+}
+
+func TestGroupByReads(t *testing.T) {
+	st := mustStmt(t, "select dept, count(*) from emp group by dept having sum(sal) > 10")
+	if err := ResolveStatement(st, plainCtx()); err != nil {
+		t.Fatal(err)
+	}
+	reads := StatementReads(st, testSchema())
+	for _, want := range []string{"dept", "sal"} {
+		if !reads.Contains(colRefOf("emp", want)) {
+			t.Errorf("reads missing emp.%s: %s", want, reads)
+		}
+	}
+}
+
+func TestGroupByTypecheck(t *testing.T) {
+	st := mustStmt(t, "select dept from emp group by dept having sum(sal)")
+	if err := ResolveStatement(st, plainCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStatement(st, testSchema()); err == nil {
+		t.Error("non-boolean HAVING should be rejected")
+	}
+}
+
+// Property: group counts always sum to the row count, and every group is
+// distinct on its key.
+func TestGroupByPartitionProperty(t *testing.T) {
+	ev, db := evalFixture(t)
+	for i := 0; i < 30; i++ {
+		db.MustInsert("emp", storage.IntV(int64(100+i)), storage.StringV("x"),
+			storage.FloatV(float64(i%7)), storage.IntV(int64(i%5)))
+	}
+	total := run(t, ev, "select count(*) from emp", nil).Rows[0][0].I
+	groups := run(t, ev, "select dept, count(*) from emp group by dept", nil).Rows
+	var sum int64
+	seen := map[int64]bool{}
+	for _, g := range groups {
+		if seen[g[0].I] {
+			t.Fatalf("duplicate group key %d", g[0].I)
+		}
+		seen[g[0].I] = true
+		sum += g[1].I
+	}
+	if sum != total {
+		t.Errorf("group counts sum to %d, want %d", sum, total)
+	}
+}

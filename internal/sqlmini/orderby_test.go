@@ -1,0 +1,223 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"activerules/internal/schema"
+	"activerules/internal/storage"
+)
+
+func TestOrderByBasic(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select id from emp order by sal desc", nil)
+	if len(res.Rows) != 3 || res.Rows[0][0].I != 3 || res.Rows[2][0].I != 1 {
+		t.Errorf("desc order wrong: %v", res.Rows)
+	}
+	res2 := run(t, ev, "select id from emp order by sal", nil)
+	if res2.Rows[0][0].I != 1 || res2.Rows[2][0].I != 3 {
+		t.Errorf("asc order wrong: %v", res2.Rows)
+	}
+	// Multi-key: dept asc, then sal desc within dept.
+	res3 := run(t, ev, "select id from emp order by dept asc, sal desc", nil)
+	want := []int64{2, 1, 3}
+	for i, w := range want {
+		if res3.Rows[i][0].I != w {
+			t.Fatalf("multi-key order: %v, want %v", res3.Rows, want)
+		}
+	}
+}
+
+func TestOrderByExpression(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select id from emp order by -sal", nil)
+	if res.Rows[0][0].I != 3 {
+		t.Errorf("expression key wrong: %v", res.Rows)
+	}
+}
+
+func TestOrderByNullsPlacement(t *testing.T) {
+	ev, db := evalFixture(t)
+	db.MustInsert("log", storage.IntV(1), storage.Null)
+	db.MustInsert("log", storage.IntV(2), storage.StringV("a"))
+	db.MustInsert("log", storage.IntV(3), storage.StringV("b"))
+	res := run(t, ev, "select id from log order by msg", nil)
+	if res.Rows[2][0].I != 1 {
+		t.Errorf("nulls should sort last ascending: %v", res.Rows)
+	}
+	res2 := run(t, ev, "select id from log order by msg desc", nil)
+	if res2.Rows[0][0].I != 1 {
+		t.Errorf("nulls should sort first descending: %v", res2.Rows)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	ev, _ := evalFixture(t)
+	res := run(t, ev, "select id from emp order by sal desc limit 2", nil)
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 3 {
+		t.Errorf("limit wrong: %v", res.Rows)
+	}
+	res2 := run(t, ev, "select id from emp limit 0", nil)
+	if len(res2.Rows) != 0 {
+		t.Errorf("limit 0 should return nothing: %v", res2.Rows)
+	}
+	res3 := run(t, ev, "select id from emp limit 99", nil)
+	if len(res3.Rows) != 3 {
+		t.Errorf("over-limit should return all: %v", res3.Rows)
+	}
+}
+
+func TestOrderByPrintRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"select id from emp order by sal desc, id limit 3",
+		"select id from emp where sal > 0 order by dept",
+		"select id from emp limit 1",
+	} {
+		st := mustStmt(t, src)
+		printed := st.String()
+		st2, err := ParseStatement(printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		if st2.String() != printed {
+			t.Errorf("print unstable: %q vs %q", printed, st2.String())
+		}
+	}
+}
+
+func TestOrderByIsReads(t *testing.T) {
+	st := mustStmt(t, "select id from emp order by sal")
+	if err := ResolveStatement(st, plainCtx()); err != nil {
+		t.Fatal(err)
+	}
+	reads := StatementReads(st, testSchema())
+	if !reads.Contains(colRefOf("emp", "sal")) {
+		t.Errorf("order-by column missing from Reads: %s", reads)
+	}
+}
+
+func TestOrderByResolveErrors(t *testing.T) {
+	cases := []string{
+		"select count(*) from emp order by sal", // aggregates
+		"select id from emp order by nocol",     // unknown column
+	}
+	for _, src := range cases {
+		st := mustStmt(t, src)
+		if err := ResolveStatement(st, plainCtx()); err == nil {
+			t.Errorf("resolve %q should fail", src)
+		}
+	}
+}
+
+func TestOrderByIncomparableError(t *testing.T) {
+	ev, db := evalFixture(t)
+	db.MustInsert("log", storage.IntV(1), storage.StringV("a"))
+	db.MustInsert("log", storage.IntV(2), storage.StringV("b"))
+	// Mixed-kind key: id for one row, msg for another via case-like
+	// trickery isn't expressible; instead compare strings against ints
+	// via an arithmetic alias is a type error earlier. Use a direct
+	// incomparable constant pair: bool vs int in a key expression.
+	st := mustStmt(t, "select id from log order by true")
+	if err := ResolveStatement(st, &ResolveContext{Schema: ev.DB.Schema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Exec(st); err != nil {
+		t.Fatalf("constant bool keys are equal, not incomparable: %v", err)
+	}
+}
+
+// ORDER BY in an observable action makes the stream deterministic by
+// content, not just by insertion order.
+func TestOrderByContextualWordsStillUsable(t *testing.T) {
+	// Columns named like the contextual keywords still work.
+	sch := schema.MustParse("table q (order_col int, limit_col int)")
+	st := mustStmt(t, "select order_col from q where limit_col > 0")
+	if err := ResolveStatement(st, &ResolveContext{Schema: sch}); err != nil {
+		t.Fatalf("contextual words broke identifiers: %v", err)
+	}
+}
+
+// colRefOf builds a schema column reference for Reads assertions.
+func colRefOf(table, col string) schema.ColumnRef { return schema.ColRef(table, col) }
+
+func TestDistinct(t *testing.T) {
+	ev, db := evalFixture(t)
+	db.MustInsert("emp", storage.IntV(4), storage.StringV("dup"), storage.FloatV(100), storage.IntV(10))
+	res := run(t, ev, "select dept from emp order by dept", nil)
+	if len(res.Rows) != 4 {
+		t.Fatalf("without distinct: %v", res.Rows)
+	}
+	res2 := run(t, ev, "select distinct dept from emp order by dept", nil)
+	if len(res2.Rows) != 2 || res2.Rows[0][0].I != 10 || res2.Rows[1][0].I != 20 {
+		t.Errorf("distinct: %v", res2.Rows)
+	}
+	// DISTINCT applies before LIMIT.
+	res3 := run(t, ev, "select distinct dept from emp order by dept limit 2", nil)
+	if len(res3.Rows) != 2 {
+		t.Errorf("distinct+limit: %v", res3.Rows)
+	}
+	// Print round trip.
+	st := mustStmt(t, "select distinct dept from emp")
+	if st.String() != "select distinct dept from emp" {
+		t.Errorf("print = %q", st.String())
+	}
+	// A column named distinct still works when qualified... the word is
+	// contextual only immediately after SELECT, so as a bare first item
+	// it is taken as the modifier; qualified references are unaffected.
+	st2 := mustStmt(t, "select e.dept from emp e")
+	if st2.(*Select).Distinct {
+		t.Error("qualified select must not set Distinct")
+	}
+}
+
+// Regression (found by fuzzing): nested negation must not print as
+// "--", which the lexer reads as a line comment.
+func TestNestedNegationPrint(t *testing.T) {
+	for _, src := range []string{"select - -0", "select -(-7)", "select - - -1"} {
+		st := mustStmt(t, src)
+		printed := st.String()
+		st2, err := ParseStatement(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, printed, err)
+		}
+		if st2.String() != printed {
+			t.Errorf("print unstable: %q vs %q", printed, st2.String())
+		}
+	}
+	// And evaluation agrees.
+	e, _ := ParseExpr("- -3")
+	v, err := (&Evaluator{}).evalExpr(e, nil)
+	if err != nil || v.I != 3 {
+		t.Errorf("- -3 = %v, %v", v, err)
+	}
+}
+
+// Regression (found by fuzzing): float printing may use exponent
+// notation ("1e-05"); the lexer must read it back.
+func TestExponentLiterals(t *testing.T) {
+	for _, src := range []string{
+		"select 1e-05", "select 1E5", "select 2.5e+3", "select 0.00001",
+	} {
+		st := mustStmt(t, src)
+		printed := st.String()
+		st2, err := ParseStatement(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, printed, err)
+		}
+		if st2.String() != printed {
+			t.Errorf("print unstable: %q vs %q", printed, st2.String())
+		}
+	}
+	e, _ := ParseExpr("1e3 + 1")
+	v, err := (&Evaluator{}).evalExpr(e, nil)
+	if err != nil || v.F != 1001 {
+		t.Errorf("1e3 + 1 = %v, %v", v, err)
+	}
+	// Malformed exponents stay errors ("1e" bare is a malformed number,
+	// since 'e' is an identifier head immediately after digits).
+	if _, err := ParseExpr("1e"); err == nil {
+		t.Error("bare exponent should fail")
+	}
+	if _, err := ParseExpr("1e+"); err == nil {
+		t.Error("sign-only exponent should fail")
+	}
+}

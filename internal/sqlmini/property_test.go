@@ -1,0 +1,241 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"activerules/internal/storage"
+)
+
+// genValue produces a random SQL value (with nulls).
+func genValue(rng *rand.Rand) storage.Value {
+	switch rng.Intn(4) {
+	case 0:
+		return storage.Null
+	case 1:
+		return storage.IntV(rng.Int63n(5) - 2)
+	case 2:
+		return storage.FloatV(float64(rng.Int63n(7)) / 2)
+	default:
+		return storage.BoolV(rng.Intn(2) == 0)
+	}
+}
+
+// genBoolExpr builds a random boolean expression tree over literals.
+func genBoolExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Literal{Val: storage.Null}
+		case 1:
+			return &Literal{Val: storage.BoolV(true)}
+		default:
+			return &Literal{Val: storage.BoolV(false)}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &Binary{Op: OpAnd, L: genBoolExpr(rng, depth-1), R: genBoolExpr(rng, depth-1)}
+	case 1:
+		return &Binary{Op: OpOr, L: genBoolExpr(rng, depth-1), R: genBoolExpr(rng, depth-1)}
+	case 2:
+		return &Unary{Op: UnaryNot, X: genBoolExpr(rng, depth-1)}
+	default:
+		a, b := genValue(rng), genValue(rng)
+		// Comparable kinds only (mixed kinds error by design).
+		if a.Kind != b.Kind && !(a.IsNumeric() && b.IsNumeric()) && !a.IsNull() && !b.IsNull() {
+			b = a
+		}
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return &Binary{Op: ops[rng.Intn(len(ops))], L: &Literal{Val: a}, R: &Literal{Val: b}}
+	}
+}
+
+// evalConst evaluates a closed expression.
+func evalConst(t *testing.T, e Expr) (storage.Value, error) {
+	t.Helper()
+	ev := &Evaluator{}
+	return ev.evalExpr(e, nil)
+}
+
+// TestPropPrintParseEval: printing, reparsing, resolving, and evaluating
+// a random closed boolean expression yields the same value as direct
+// evaluation.
+func TestPropPrintParseEval(t *testing.T) {
+	sch := testSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genBoolExpr(rng, 4)
+		direct, derr := evalConst(t, e)
+		printed := e.String()
+		re, perr := ParseExpr(printed)
+		if perr != nil {
+			return false
+		}
+		if err := ResolveExpr(re, &ResolveContext{Schema: sch}); err != nil {
+			return false
+		}
+		roundtrip, rerr := evalConst(t, re)
+		if (derr == nil) != (rerr == nil) {
+			return false
+		}
+		if derr != nil {
+			return true
+		}
+		return direct == roundtrip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDeMorgan: three-valued logic satisfies De Morgan's laws:
+// not(a and b) == (not a) or (not b), and dually.
+func TestPropDeMorgan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genBoolExpr(rng, 3)
+		b := genBoolExpr(rng, 3)
+		lhs := &Unary{Op: UnaryNot, X: &Binary{Op: OpAnd, L: a, R: b}}
+		rhs := &Binary{Op: OpOr,
+			L: &Unary{Op: UnaryNot, X: a},
+			R: &Unary{Op: UnaryNot, X: b}}
+		lv, le := evalConst(t, lhs)
+		rv, re := evalConst(t, rhs)
+		if (le == nil) != (re == nil) {
+			return false
+		}
+		if le != nil {
+			return true
+		}
+		return lv == rv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropInEquivalentToDisjunction: "x in (a, b)" has the same
+// three-valued result as "(x = a) or (x = b)".
+func TestPropInEquivalentToDisjunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Expr { return &Literal{Val: numOrNull(rng)} }
+		x, a, b := mk(), mk(), mk()
+		in := &InList{X: x, Vals: []Expr{a, b}}
+		or := &Binary{Op: OpOr,
+			L: &Binary{Op: OpEq, L: x, R: a},
+			R: &Binary{Op: OpEq, L: x, R: b}}
+		iv, ie := evalConst(t, in)
+		ov, oe := evalConst(t, or)
+		if (ie == nil) != (oe == nil) {
+			return false
+		}
+		if ie != nil {
+			return true
+		}
+		return iv == ov
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropNotInIsNegation: "x not in (...)" equals not("x in (...)")
+// under three-valued logic.
+func TestPropNotInIsNegation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := &Literal{Val: numOrNull(rng)}
+		vals := []Expr{&Literal{Val: numOrNull(rng)}, &Literal{Val: numOrNull(rng)}}
+		notIn := &InList{X: x, Vals: vals, Negate: true}
+		negIn := &Unary{Op: UnaryNot, X: &InList{X: x, Vals: vals}}
+		av, ae := evalConst(t, notIn)
+		bv, be := evalConst(t, negIn)
+		if (ae == nil) != (be == nil) {
+			return false
+		}
+		if ae != nil {
+			return true
+		}
+		return av == bv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func numOrNull(rng *rand.Rand) storage.Value {
+	if rng.Intn(4) == 0 {
+		return storage.Null
+	}
+	return storage.IntV(rng.Int63n(4))
+}
+
+// TestPropComparisonTrichotomy: for non-null numeric values exactly one
+// of <, =, > holds.
+func TestPropComparisonTrichotomy(t *testing.T) {
+	f := func(ai, bi int8, aFloat, bFloat bool) bool {
+		var a, b storage.Value
+		if aFloat {
+			a = storage.FloatV(float64(ai))
+		} else {
+			a = storage.IntV(int64(ai))
+		}
+		if bFloat {
+			b = storage.FloatV(float64(bi))
+		} else {
+			b = storage.IntV(int64(bi))
+		}
+		count := 0
+		for _, op := range []BinaryOp{OpLt, OpEq, OpGt} {
+			v, err := (&Evaluator{}).evalExpr(
+				&Binary{Op: op, L: &Literal{Val: a}, R: &Literal{Val: b}}, nil)
+			if err != nil || v.Kind != storage.KindBool {
+				return false
+			}
+			if v.B {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCountMatchesRows: count(*) over a predicate equals the number
+// of rows selected by the same predicate.
+func TestPropCountMatchesRows(t *testing.T) {
+	sch := testSchema()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := storage.NewDB(sch)
+		for i := 0; i < int(n%12); i++ {
+			db.MustInsert("emp", storage.IntV(int64(i)), storage.StringV("e"),
+				storage.FloatV(float64(rng.Int63n(100))), storage.IntV(rng.Int63n(3)))
+		}
+		ev := &Evaluator{DB: db}
+		pred := "sal >= 50 and dept <> 1"
+		stSel, _ := ParseStatement("select id from emp where " + pred)
+		stCnt, _ := ParseStatement("select count(*) from emp where " + pred)
+		rc := &ResolveContext{Schema: sch}
+		if err := ResolveStatement(stSel, rc); err != nil {
+			return false
+		}
+		if err := ResolveStatement(stCnt, rc); err != nil {
+			return false
+		}
+		selRes, err1 := ev.Exec(stSel)
+		cntRes, err2 := ev.Exec(stCnt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return cntRes.Rows[0][0].I == int64(len(selRes.Rows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package sqlmini implements the SQL subset used in Starburst rule
+// conditions and actions: SELECT (with joins, subqueries, aggregates),
+// INSERT (values or query), DELETE, UPDATE, and ROLLBACK, plus references
+// to the transition tables inserted, deleted, new-updated, and old-updated
+// of Section 2 of the paper.
+//
+// The package provides four layers: lexing/parsing to an AST, name
+// resolution against a schema (with the rule's triggering table supplying
+// the transition-table bindings), static analysis computing the Reads and
+// Performs sets of Section 3, and evaluation against a storage.DB.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // single punctuation: ( ) , . * + - / %
+	tokOp    // comparison: = <> < <= > >=
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string // canonical text: keywords lowercased
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords of the SQL subset. Transition-table names are deliberately not
+// keywords; they are resolved as table references.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "insert": true,
+	"into": true, "values": true, "delete": true, "update": true,
+	"set": true, "and": true, "or": true, "not": true, "null": true,
+	"is": true, "in": true, "exists": true, "rollback": true,
+	"true": true, "false": true, "as": true,
+}
+
+// aggregate function names (not reserved; recognized positionally).
+var aggregates = map[string]bool{
+	"count": true, "sum": true, "min": true, "max": true, "avg": true,
+}
+
+// lexer turns SQL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src completely, returning a friendly error with byte
+// offset on invalid input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isLetter(c):
+			l.lexWord(start)
+		case isDigit(c):
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case c == '<':
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: l.src[start:l.pos], pos: start})
+		case c == '>':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: l.src[start:l.pos], pos: start})
+		case c == '=':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokOp, text: "=", pos: start})
+		case c == '!':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokOp, text: "<>", pos: start})
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+			}
+		case strings.IndexByte("(),.*+-/%;", c) >= 0:
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+		l.pos++
+	}
+	word := strings.ToLower(l.src[start:l.pos])
+	kind := tokIdent
+	if keywords[word] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind: kind, text: word, pos: start})
+}
+
+func (l *lexer) lexNumber(start int) error {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	// Optional exponent: e or E, optional sign, then digits. Only
+	// consumed when well-formed so that "1 error" still lexes as a
+	// number followed by an identifier boundary error below.
+	seenExp := false
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		j := l.pos + 1
+		if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+			j++
+		}
+		if j < len(l.src) && isDigit(l.src[j]) {
+			for j < len(l.src) && isDigit(l.src[j]) {
+				j++
+			}
+			l.pos = j
+			seenExp = true
+		}
+	}
+	if l.pos < len(l.src) && isLetter(l.src[l.pos]) {
+		return fmt.Errorf("sql: malformed number at offset %d", start)
+	}
+	kind := tokInt
+	if seenDot || seenExp {
+		kind = tokFloat
+	}
+	l.toks = append(l.toks, token{kind: kind, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // '' escape
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string starting at offset %d", start)
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentChar(c byte) bool { return isLetter(c) || isDigit(c) }

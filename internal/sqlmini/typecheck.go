@@ -1,0 +1,398 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"activerules/internal/schema"
+	"activerules/internal/storage"
+)
+
+// exprType is the inferred static type of an expression. typeAny marks
+// expressions whose type is statically unknown (null literals and
+// empty-result subqueries); it is compatible with everything, matching
+// the evaluator's null propagation.
+type exprType int
+
+const (
+	typeAny exprType = iota
+	typeInt
+	typeFloat
+	typeString
+	typeBool
+)
+
+func (t exprType) String() string {
+	switch t {
+	case typeAny:
+		return "null"
+	case typeInt:
+		return "int"
+	case typeFloat:
+		return "float"
+	case typeString:
+		return "string"
+	case typeBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("exprType(%d)", int(t))
+	}
+}
+
+func typeOfSchema(t schema.Type) exprType {
+	switch t {
+	case schema.Int:
+		return typeInt
+	case schema.Float:
+		return typeFloat
+	case schema.String:
+		return typeString
+	case schema.Bool:
+		return typeBool
+	default:
+		return typeAny
+	}
+}
+
+func (t exprType) numeric() bool { return t == typeAny || t == typeInt || t == typeFloat }
+
+// comparable reports whether values of the two types may be compared.
+func comparableTypes(a, b exprType) bool {
+	if a == typeAny || b == typeAny {
+		return true
+	}
+	if a.numeric() && b.numeric() {
+		return true
+	}
+	return a == b
+}
+
+// checker carries the schema through the recursive type check. All
+// checks assume a RESOLVED AST.
+type checker struct{ sch *schema.Schema }
+
+// CheckStatement statically type-checks a resolved statement, catching
+// kind errors (string arithmetic, boolean misuse, column/value type
+// mismatches) at compile time instead of execution time.
+func CheckStatement(st Statement, sch *schema.Schema) error {
+	c := &checker{sch: sch}
+	switch s := st.(type) {
+	case *Select:
+		_, err := c.selectTypes(s)
+		return err
+	case *Insert:
+		return c.checkInsert(s)
+	case *Delete:
+		if s.Where != nil {
+			return c.checkPredicate(s.Where, "WHERE")
+		}
+		return nil
+	case *Update:
+		return c.checkUpdate(s)
+	case *Rollback:
+		return nil
+	default:
+		return fmt.Errorf("sql: cannot type-check %T", st)
+	}
+}
+
+// CheckCondition type-checks a resolved rule condition, which must be a
+// boolean predicate.
+func CheckCondition(e Expr, sch *schema.Schema) error {
+	return (&checker{sch: sch}).checkPredicate(e, "condition")
+}
+
+func (c *checker) checkPredicate(e Expr, what string) error {
+	t, err := c.exprType(e)
+	if err != nil {
+		return err
+	}
+	if t != typeBool && t != typeAny {
+		return fmt.Errorf("sql: %s must be boolean, got %s", what, t)
+	}
+	return nil
+}
+
+// selectTypes checks a query block and returns its column types (nil
+// for '*', whose width depends on the FROM tables).
+func (c *checker) selectTypes(s *Select) ([]exprType, error) {
+	if s.Where != nil {
+		if err := c.checkPredicate(s.Where, "WHERE"); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range s.GroupBy {
+		if _, err := c.exprType(g); err != nil {
+			return nil, err
+		}
+	}
+	if s.Having != nil {
+		if err := c.checkPredicate(s.Having, "HAVING"); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range s.OrderBy {
+		if _, err := c.exprType(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+	var out []exprType
+	for _, it := range s.Items {
+		if it.Expr == nil {
+			// '*': expand the FROM tables' column types.
+			for _, tr := range s.From {
+				t := c.sch.Table(tr.RTable)
+				if t == nil {
+					return nil, fmt.Errorf("sql: unresolved table %q", tr.RTable)
+				}
+				for _, col := range t.Columns {
+					out = append(out, typeOfSchema(col.Type))
+				}
+			}
+			continue
+		}
+		ty, err := c.exprType(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ty)
+	}
+	return out, nil
+}
+
+func (c *checker) checkInsert(s *Insert) error {
+	def := c.sch.Table(s.Table)
+	if def == nil {
+		return fmt.Errorf("sql: unresolved table %q", s.Table)
+	}
+	// Target column types in insertion order.
+	var targets []exprType
+	if len(s.Columns) > 0 {
+		for _, col := range s.Columns {
+			targets = append(targets, typeOfSchema(def.Columns[def.ColumnIndex(col)].Type))
+		}
+	} else {
+		for _, col := range def.Columns {
+			targets = append(targets, typeOfSchema(col.Type))
+		}
+	}
+	checkAssign := func(from exprType, i int) error {
+		to := targets[i]
+		ok := from == typeAny || from == to || (to == typeFloat && from == typeInt)
+		if !ok {
+			return fmt.Errorf("sql: insert into %s: column %d expects %s, got %s",
+				s.Table, i+1, to, from)
+		}
+		return nil
+	}
+	if s.Query != nil {
+		types, err := c.selectTypes(s.Query)
+		if err != nil {
+			return err
+		}
+		for i, ty := range types {
+			if err := checkAssign(ty, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, row := range s.Rows {
+		for i, e := range row {
+			ty, err := c.exprType(e)
+			if err != nil {
+				return err
+			}
+			if err := checkAssign(ty, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkUpdate(s *Update) error {
+	def := c.sch.Table(s.Table)
+	if def == nil {
+		return fmt.Errorf("sql: unresolved table %q", s.Table)
+	}
+	for _, sc := range s.Sets {
+		ty, err := c.exprType(sc.Expr)
+		if err != nil {
+			return err
+		}
+		to := typeOfSchema(def.Columns[def.ColumnIndex(sc.Column)].Type)
+		if !(ty == typeAny || ty == to || (to == typeFloat && ty == typeInt)) {
+			return fmt.Errorf("sql: update %s: column %s expects %s, got %s",
+				s.Table, sc.Column, to, ty)
+		}
+	}
+	if s.Where != nil {
+		return c.checkPredicate(s.Where, "WHERE")
+	}
+	return nil
+}
+
+// exprType infers the type of a resolved expression, erroring on
+// statically impossible operand kinds.
+func (c *checker) exprType(e Expr) (exprType, error) {
+	switch x := e.(type) {
+	case *Literal:
+		switch x.Val.Kind {
+		case storage.KindInt:
+			return typeInt, nil
+		case storage.KindFloat:
+			return typeFloat, nil
+		case storage.KindString:
+			return typeString, nil
+		case storage.KindBool:
+			return typeBool, nil
+		default:
+			return typeAny, nil
+		}
+	case *ColRef:
+		t := c.sch.Table(x.RTable)
+		if t == nil || x.RIndex < 0 || x.RIndex >= len(t.Columns) {
+			return typeAny, fmt.Errorf("sql: unresolved column %s", x)
+		}
+		return typeOfSchema(t.Columns[x.RIndex].Type), nil
+	case *Unary:
+		ty, err := c.exprType(x.X)
+		if err != nil {
+			return typeAny, err
+		}
+		if x.Op == UnaryNeg {
+			if !ty.numeric() {
+				return typeAny, fmt.Errorf("sql: cannot negate %s", ty)
+			}
+			return ty, nil
+		}
+		if ty != typeBool && ty != typeAny {
+			return typeAny, fmt.Errorf("sql: NOT of non-boolean %s", ty)
+		}
+		return typeBool, nil
+	case *Binary:
+		return c.binaryType(x)
+	case *IsNull:
+		if _, err := c.exprType(x.X); err != nil {
+			return typeAny, err
+		}
+		return typeBool, nil
+	case *InList:
+		ty, err := c.exprType(x.X)
+		if err != nil {
+			return typeAny, err
+		}
+		for _, v := range x.Vals {
+			vt, err := c.exprType(v)
+			if err != nil {
+				return typeAny, err
+			}
+			if !comparableTypes(ty, vt) {
+				return typeAny, fmt.Errorf("sql: IN compares %s with %s", ty, vt)
+			}
+		}
+		return typeBool, nil
+	case *InSelect:
+		ty, err := c.exprType(x.X)
+		if err != nil {
+			return typeAny, err
+		}
+		sub, err := c.selectTypes(x.Sub)
+		if err != nil {
+			return typeAny, err
+		}
+		if len(sub) == 1 && !comparableTypes(ty, sub[0]) {
+			return typeAny, fmt.Errorf("sql: IN compares %s with %s", ty, sub[0])
+		}
+		return typeBool, nil
+	case *Exists:
+		if _, err := c.selectTypes(x.Sub); err != nil {
+			return typeAny, err
+		}
+		return typeBool, nil
+	case *ScalarSubquery:
+		sub, err := c.selectTypes(x.Sub)
+		if err != nil {
+			return typeAny, err
+		}
+		if len(sub) == 1 {
+			return sub[0], nil
+		}
+		return typeAny, nil
+	case *Aggregate:
+		return c.aggregateType(x)
+	default:
+		return typeAny, fmt.Errorf("sql: cannot type %T", e)
+	}
+}
+
+func (c *checker) binaryType(x *Binary) (exprType, error) {
+	lt, err := c.exprType(x.L)
+	if err != nil {
+		return typeAny, err
+	}
+	rt, err := c.exprType(x.R)
+	if err != nil {
+		return typeAny, err
+	}
+	switch x.Op {
+	case OpAnd, OpOr:
+		for _, t := range []exprType{lt, rt} {
+			if t != typeBool && t != typeAny {
+				return typeAny, fmt.Errorf("sql: %s operand of and/or is not boolean", t)
+			}
+		}
+		return typeBool, nil
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if !comparableTypes(lt, rt) {
+			return typeAny, fmt.Errorf("sql: cannot compare %s with %s", lt, rt)
+		}
+		return typeBool, nil
+	case OpMod:
+		for _, t := range []exprType{lt, rt} {
+			if t != typeInt && t != typeAny {
+				return typeAny, fmt.Errorf("sql: %% requires integers, got %s", t)
+			}
+		}
+		return typeInt, nil
+	default: // arithmetic
+		if !lt.numeric() || !rt.numeric() {
+			return typeAny, fmt.Errorf("sql: arithmetic on %s and %s", lt, rt)
+		}
+		if lt == typeFloat || rt == typeFloat {
+			return typeFloat, nil
+		}
+		if lt == typeAny || rt == typeAny {
+			return typeAny, nil
+		}
+		return typeInt, nil
+	}
+}
+
+func (c *checker) aggregateType(x *Aggregate) (exprType, error) {
+	if x.Arg == nil {
+		return typeInt, nil // count(*)
+	}
+	ty, err := c.exprType(x.Arg)
+	if err != nil {
+		return typeAny, err
+	}
+	switch x.Func {
+	case "count":
+		return typeInt, nil
+	case "sum":
+		if !ty.numeric() {
+			return typeAny, fmt.Errorf("sql: sum of non-numeric %s", ty)
+		}
+		return ty, nil
+	case "avg":
+		if !ty.numeric() {
+			return typeAny, fmt.Errorf("sql: avg of non-numeric %s", ty)
+		}
+		return typeFloat, nil
+	case "min", "max":
+		return ty, nil
+	default:
+		return typeAny, fmt.Errorf("sql: unknown aggregate %q", x.Func)
+	}
+}

@@ -1,0 +1,122 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+// check parses, resolves (rule context on emp), and type-checks.
+func check(t *testing.T, src string) error {
+	t.Helper()
+	st, err := ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if err := ResolveStatement(st, ruleCtx()); err != nil {
+		t.Fatalf("resolve %q: %v", src, err)
+	}
+	return CheckStatement(st, testSchema())
+}
+
+func TestTypeCheckAccepts(t *testing.T) {
+	good := []string{
+		"select id, name from emp where sal > 100 and dept in (1, 2)",
+		"select * from emp",
+		"select count(*), sum(sal), avg(sal), min(name), max(dept) from emp",
+		"insert into log values (1, 'x'), (2, null)",
+		"insert into log select id, name from emp",
+		"insert into emp (id, sal) values (1, 5)", // int into float column
+		"update emp set sal = sal * 1.1 where dept = 2",
+		"update emp set sal = null",
+		"delete from emp where name is not null",
+		"rollback",
+		"select id from emp where sal = (select max(sal) from emp)",
+		"select id from emp where exists (select 1 from dept where dept.id = emp.dept)",
+		"select id from emp order by sal desc limit 2",
+		"select id from emp where null = 1", // unknown is compatible
+		"select id % 2 from emp",
+	}
+	for _, src := range good {
+		if err := check(t, src); err != nil {
+			t.Errorf("CheckStatement(%q) = %v, want nil", src, err)
+		}
+	}
+}
+
+func TestTypeCheckRejects(t *testing.T) {
+	bad := []struct{ src, wantSub string }{
+		{"select name + 1 from emp", "arithmetic"},
+		{"select -name from emp", "negate"},
+		{"select not sal from emp", "NOT of non-boolean"},
+		{"select id from emp where name", "must be boolean"},
+		{"select id from emp where sal and true", "not boolean"},
+		{"select id from emp where name = 1", "compare"},
+		{"select id from emp where name in (1, 2)", "IN compares"},
+		{"select id from emp where dept in (select name from emp)", "IN compares"},
+		{"select sal % 2 from emp", "requires integers"},
+		{"select sum(name) from emp", "sum of non-numeric"},
+		{"select avg(name) from emp", "avg of non-numeric"},
+		{"insert into log values ('x', 'y')", "expects int"},
+		{"insert into log values (1.5, 'y')", "expects int"},
+		{"insert into log select sal, name from emp", "expects int"},
+		{"update emp set sal = 'much'", "expects float"},
+		{"update emp set dept = 1.5", "expects int"},
+		{"delete from emp where id + 1", "must be boolean"},
+		{"update emp set sal = 0 where name", "must be boolean"},
+	}
+	for _, c := range bad {
+		err := check(t, c.src)
+		if err == nil {
+			t.Errorf("CheckStatement(%q) accepted, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("CheckStatement(%q) = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCheckCondition(t *testing.T) {
+	mk := func(src string) error {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if err := ResolveExpr(e, ruleCtx()); err != nil {
+			t.Fatalf("resolve %q: %v", src, err)
+		}
+		return CheckCondition(e, testSchema())
+	}
+	if err := mk("exists (select 1 from emp where sal > 0)"); err != nil {
+		t.Errorf("boolean condition rejected: %v", err)
+	}
+	if err := mk("(select count(*) from emp) > 3"); err != nil {
+		t.Errorf("comparison condition rejected: %v", err)
+	}
+	if err := mk("(select count(*) from emp)"); err == nil {
+		t.Error("integer condition should be rejected")
+	}
+	if err := mk("(select name from emp) = 1"); err == nil {
+		t.Error("string/int comparison should be rejected")
+	}
+}
+
+func TestTypeCheckInRuleCompilation(t *testing.T) {
+	// rules.NewSet rejects type errors at compile time; verified here
+	// via the public surface in the rules package tests, and via the
+	// raw checker for the scalar-subquery type flow.
+	st := mustStmt(t, "update emp set sal = (select name from emp where id = 1)")
+	if err := ResolveStatement(st, ruleCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStatement(st, testSchema()); err == nil {
+		t.Error("string subquery into float column should be rejected")
+	}
+	st2 := mustStmt(t, "update emp set sal = (select dept from emp where id = 1)")
+	if err := ResolveStatement(st2, ruleCtx()); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStatement(st2, testSchema()); err != nil {
+		t.Errorf("int subquery into float column should be fine: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerules/internal/schema"
+)
+
+// DB is an in-memory database instance over a fixed schema. A DB is not
+// safe for concurrent mutation; the rule engine is single-threaded per
+// transaction, matching Starburst's rule-processing model.
+type DB struct {
+	sch    *schema.Schema
+	tables map[string]*Table
+	nextID TupleID
+}
+
+// NewDB creates an empty database for the schema.
+func NewDB(s *schema.Schema) *DB {
+	db := &DB{sch: s, tables: make(map[string]*Table, s.NumTables()), nextID: 1}
+	for _, name := range s.TableNames() {
+		db.tables[name] = newTable(s.Table(name))
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *schema.Schema { return db.sch }
+
+// Table returns the named table, or nil if the schema has no such table.
+func (db *DB) Table(name string) *Table { return db.tables[strings.ToLower(name)] }
+
+// Insert adds a tuple with the given column values (in schema column
+// order) and returns its new identity. Values are coerced to the column
+// types; a type mismatch or arity mismatch is an error.
+func (db *DB) Insert(table string, vals []Value) (TupleID, error) {
+	t := db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("storage: no table %q", table)
+	}
+	if len(vals) != len(t.def.Columns) {
+		return 0, fmt.Errorf("storage: insert into %s: %d values for %d columns",
+			t.def.Name, len(vals), len(t.def.Columns))
+	}
+	coerced := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := v.Coerce(t.def.Columns[i].Type)
+		if err != nil {
+			return 0, fmt.Errorf("storage: insert into %s.%s: %v", t.def.Name, t.def.Columns[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	id := db.nextID
+	db.nextID++
+	t.insert(&Tuple{ID: id, Vals: coerced})
+	return id, nil
+}
+
+// MustInsert is Insert, panicking on error. Intended for tests/examples.
+func (db *DB) MustInsert(table string, vals ...Value) TupleID {
+	id, err := db.Insert(table, vals)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Delete removes the tuple with the given identity from the table. It
+// returns the deleted tuple, or nil if no such tuple exists.
+func (db *DB) Delete(table string, id TupleID) *Tuple {
+	t := db.Table(table)
+	if t == nil {
+		return nil
+	}
+	tu := t.Get(id)
+	if tu == nil {
+		return nil
+	}
+	t.delete(id)
+	return tu
+}
+
+// Update sets column col of the identified tuple to v (coerced to the
+// column type). It returns the previous value.
+func (db *DB) Update(table string, id TupleID, col string, v Value) (Value, error) {
+	t := db.Table(table)
+	if t == nil {
+		return Value{}, fmt.Errorf("storage: no table %q", table)
+	}
+	ci := t.def.ColumnIndex(col)
+	if ci < 0 {
+		return Value{}, fmt.Errorf("storage: table %s has no column %q", t.def.Name, col)
+	}
+	tu := t.Get(id)
+	if tu == nil {
+		return Value{}, fmt.Errorf("storage: table %s has no tuple %d", t.def.Name, id)
+	}
+	cv, err := v.Coerce(t.def.Columns[ci].Type)
+	if err != nil {
+		return Value{}, fmt.Errorf("storage: update %s.%s: %v", t.def.Name, col, err)
+	}
+	old := tu.Vals[ci]
+	tu.Vals[ci] = cv
+	return old, nil
+}
+
+// Clone returns a deep copy of the database sharing no mutable state with
+// the original. Tuple identities are preserved, so transitions recorded
+// against the original remain meaningful against the clone.
+func (db *DB) Clone() *DB {
+	nd := &DB{sch: db.sch, tables: make(map[string]*Table, len(db.tables)), nextID: db.nextID}
+	for name, t := range db.tables {
+		nd.tables[name] = t.clone()
+	}
+	return nd
+}
+
+// Fingerprint returns a canonical digest of the database contents. Two
+// databases have equal fingerprints iff every table holds the same
+// multiset of rows (tuple identities and insertion order are ignored, as
+// final states in the paper are compared by content).
+func (db *DB) Fingerprint() [32]byte {
+	h := sha256.New()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{'('})
+		for _, enc := range db.tables[name].sortedEncodings() {
+			h.Write(enc)
+			h.Write([]byte{';'})
+		}
+		h.Write([]byte{')'})
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// TableFingerprint returns a canonical digest of the named tables only,
+// used for partial-confluence checks (identical T' contents, Section 7).
+func (db *DB) TableFingerprint(tables []string) [32]byte {
+	h := sha256.New()
+	names := make([]string, len(tables))
+	for i, n := range tables {
+		names[i] = strings.ToLower(n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{'('})
+		if t := db.tables[name]; t != nil {
+			for _, enc := range t.sortedEncodings() {
+				h.Write(enc)
+				h.Write([]byte{';'})
+			}
+		}
+		h.Write([]byte{')'})
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Equal reports whether the two databases hold the same contents.
+func (db *DB) Equal(other *DB) bool { return db.Fingerprint() == other.Fingerprint() }
+
+// TotalRows returns the number of live tuples across all tables.
+func (db *DB) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// String renders all tables in name order, for debugging and reports.
+func (db *DB) String() string {
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		sb.WriteString(db.tables[name].String())
+	}
+	return sb.String()
+}

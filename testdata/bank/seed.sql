@@ -1,0 +1,1 @@
+insert into account values (1, 'ann', 100.0), (2, 'bob', 20.0)

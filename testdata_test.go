@@ -1,0 +1,107 @@
+package activerules_test
+
+// The shipped sample applications in testdata/ must stay loadable and
+// keep their documented verdicts (they appear in the README and serve as
+// CLI examples).
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"activerules"
+)
+
+// loadCerts applies a rulecheck-format certification file to a system,
+// mirroring cmd/rulecheck's loader (kept simple here: the test only
+// needs the three directives).
+func loadCerts(t *testing.T, sys *activerules.System, path string) (*activerules.System, *activerules.Certification) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := activerules.NewCertification()
+	out := sys
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.Index(line, "--"); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "commute":
+			cert.CertifyCommutes(f[1], f[2])
+		case "discharge":
+			cert.DischargeRule(f[1])
+		case "order":
+			out, err = out.WithOrdering([2]string{f[1], f[2]})
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unknown directive %q in %s", f[0], path)
+		}
+	}
+	return out, cert
+}
+
+func TestTestdataBank(t *testing.T) {
+	sys, err := activerules.LoadFiles("testdata/bank/schema.sdl", "testdata/bank/rules.srl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without certifications the set is flagged (hold vs purge conflict).
+	if sys.Analyze(nil).AllGuaranteed() {
+		t.Fatal("bank rules should need certifications")
+	}
+	sys2, cert := loadCerts(t, sys, "testdata/bank/certs.txt")
+	rep := sys2.Analyze(cert)
+	if !rep.AllGuaranteed() {
+		t.Fatalf("certified bank rules should pass:\n%s", rep)
+	}
+	// The documented execution: seed accounts, overdraw bob, hold placed.
+	db := sys2.NewDB()
+	eng := sys2.NewEngine(db, activerules.EngineOptions{})
+	seed, err := os.ReadFile("testdata/bank/seed.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecUser(string(seed)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Commit()
+	ops, err := os.ReadFile("testdata/bank/ops.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecUser(string(ops)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("holds").Len() != 1 {
+		t.Errorf("holds = %d, want 1", db.Table("holds").Len())
+	}
+}
+
+func TestTestdataPowernet(t *testing.T) {
+	sys, err := activerules.LoadFiles("testdata/powernet/schema.sdl", "testdata/powernet/rules.srl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Analyze(nil).Termination.Guaranteed {
+		t.Fatal("propagation cycle should be flagged without discharges")
+	}
+	sys2, cert := loadCerts(t, sys, "testdata/powernet/certs.txt")
+	rep := sys2.Analyze(cert)
+	if !rep.Termination.Guaranteed {
+		t.Error("discharged powernet should terminate")
+	}
+	if !rep.Confluence.Guaranteed {
+		t.Errorf("certified powernet should be confluent:\n%s", rep)
+	}
+}
