@@ -40,6 +40,7 @@
 package activerules
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -47,6 +48,7 @@ import (
 	"activerules/internal/analysis"
 	"activerules/internal/engine"
 	"activerules/internal/execgraph"
+	"activerules/internal/faultinject"
 	"activerules/internal/ruledef"
 	"activerules/internal/rules"
 	"activerules/internal/schema"
@@ -122,6 +124,26 @@ type (
 	TraceEvent = engine.TraceEvent
 	// Strategy picks among simultaneously eligible rules.
 	Strategy = engine.Strategy
+	// Mutator receives primitive data modifications; wrap it via
+	// EngineOptions.WrapMutator for fault injection.
+	Mutator = engine.Mutator
+
+	// ExecError reports a failed rule consideration; the consideration
+	// has been fully undone and processing is resumable.
+	ExecError = engine.ExecError
+	// PanicError is a recovered rule-processing panic.
+	PanicError = engine.PanicError
+	// LivelockError is a runtime nontermination witness: a repeated
+	// execution-graph state with the repeating rule cycle.
+	LivelockError = engine.LivelockError
+	// CancelledError reports that AssertContext's context was done.
+	CancelledError = engine.CancelledError
+
+	// FaultInjector deterministically fails chosen storage mutations
+	// (testing/chaos; see EngineOptions.WrapMutator).
+	FaultInjector = faultinject.Injector
+	// FaultConfig selects which mutations a FaultInjector fails.
+	FaultConfig = faultinject.Config
 
 	// ExploreOptions bound the execution-graph model checker.
 	ExploreOptions = execgraph.Options
@@ -135,9 +157,19 @@ var (
 	Null = storage.Null
 
 	// ErrMaxSteps is returned by Engine.Assert when rule processing
-	// exceeds its step budget (possible nontermination).
+	// exceeds its step budget (possible nontermination). A
+	// *LivelockError — the same verdict with a concrete witness —
+	// satisfies errors.Is against it.
 	ErrMaxSteps = engine.ErrMaxSteps
+
+	// ErrInjectedFault is the sentinel wrapped by every fault a
+	// FaultInjector injects.
+	ErrInjectedFault = faultinject.ErrInjected
 )
+
+// NewFaultInjector returns an armed deterministic fault injector; pass
+// its Wrap method as EngineOptions.WrapMutator.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
 
 // IntV returns an integer value.
 func IntV(i int64) Value { return storage.IntV(i) }
@@ -306,6 +338,12 @@ func (s *System) NewEngine(db *DB, opts EngineOptions) *Engine {
 // mutated.
 func Explore(e *Engine, opts ExploreOptions) (*ExploreResult, error) {
 	return execgraph.Explore(e, opts)
+}
+
+// ExploreContext is Explore with cancellation: the context is checked at
+// every state visit, bounding the wall-clock time of large explorations.
+func ExploreContext(ctx context.Context, e *Engine, opts ExploreOptions) (*ExploreResult, error) {
+	return execgraph.ExploreContext(ctx, e, opts)
 }
 
 // Report bundles all four verdicts for one rule set.

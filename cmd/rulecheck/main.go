@@ -42,7 +42,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	// Last-resort containment: a hostile rule set must produce a
+	// diagnostic and a sane exit code, never a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "rulecheck: internal error: panic: %v\n", p)
+			code = 2
+		}
+	}()
 	fs := flag.NewFlagSet("rulecheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	schemaPath := fs.String("schema", "", "schema definition file (required)")

@@ -15,15 +15,29 @@
 //	-strategy s      first | last | random:<seed> — which eligible rule
 //	                 to consider when several are unordered
 //	-maxsteps n      rule-consideration budget (default 10000)
+//	-timeout d       wall-clock bound for rule processing (e.g. 2s);
+//	                 0 means none
 //	-explore         instead of one run, exhaustively model-check every
 //	                 execution order and report the distinct final
 //	                 states and observable streams
 //
-// Exit status: 0 on success, 1 when rule processing hit the step budget
-// or the exploration found divergence, 2 on usage or load errors.
+// Exit status:
+//
+//	0  success
+//	1  step budget exhausted without a witness (possible
+//	   nontermination; the budget may just be too small), or the
+//	   exploration found divergence
+//	2  usage or load errors, or an internal error
+//	3  livelock: rule processing revisited a state — a definitive
+//	   runtime nontermination witness; the repeating rule cycle is
+//	   printed
+//	4  a rule's condition or action failed at runtime (the failed
+//	   consideration was rolled back; the database is consistent)
+//	5  the -timeout deadline expired
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,7 +53,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	// Last-resort containment: a hostile rule set must produce a
+	// diagnostic and a sane exit code, never a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "ruleexec: internal error: panic: %v\n", p)
+			code = 2
+		}
+	}()
 	fs := flag.NewFlagSet("ruleexec", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	schemaPath := fs.String("schema", "", "schema definition file (required)")
@@ -48,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seedPath := fs.String("seed", "", "database seed script (committed before the transition)")
 	strategy := fs.String("strategy", "first", "first | last | random:<seed>")
 	maxSteps := fs.Int("maxsteps", 10000, "rule consideration budget")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for rule processing (0 = none)")
 	explore := fs.Bool("explore", false, "model-check all execution orders instead of one run")
 	traceFlag := fs.Bool("trace", false, "print each rule-processing step")
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +130,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	for i, seg := range segments {
 		if strings.TrimSpace(seg) != "" {
 			if _, err := eng.ExecUser(seg); err != nil {
@@ -115,16 +145,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if *explore && i == len(segments)-1 {
-			return runExplore(eng, stdout, stderr)
+			return runExplore(ctx, eng, stdout, stderr)
 		}
-		res, err := eng.Assert()
-		if errors.Is(err, activerules.ErrMaxSteps) {
-			fmt.Fprintf(stderr, "ruleexec: %v (considered %d rules)\n", err, res.Considered)
-			return 1
-		}
+		res, err := eng.AssertContext(ctx)
 		if err != nil {
-			fmt.Fprintln(stderr, "ruleexec:", err)
-			return 2
+			return reportAssertError(err, res, stderr)
 		}
 		fmt.Fprintf(stdout, "assertion point %d: considered=%d fired=%d rolledback=%v\n",
 			i+1, res.Considered, res.Fired, res.RolledBack)
@@ -135,6 +160,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, "final database:")
 	fmt.Fprint(stdout, eng.DB().String())
 	return 0
+}
+
+// reportAssertError maps a rule-processing failure to a diagnostic and
+// an exit code. The LivelockError check must come before the
+// ErrMaxSteps one: a livelock witness satisfies errors.Is(ErrMaxSteps)
+// for compatibility, but carries strictly more information.
+func reportAssertError(err error, res activerules.EngineResult, stderr io.Writer) int {
+	var le *activerules.LivelockError
+	if errors.As(err, &le) {
+		fmt.Fprintf(stderr, "ruleexec: livelock: state revisited after %d rule considerations\n", le.Steps)
+		fmt.Fprintf(stderr, "ruleexec: repeating cycle (period %d): %s\n",
+			le.Period, strings.Join(le.Cycle, " -> "))
+		return 3
+	}
+	if errors.Is(err, activerules.ErrMaxSteps) {
+		fmt.Fprintf(stderr, "ruleexec: %v (considered %d rules)\n", err, res.Considered)
+		return 1
+	}
+	var xe *activerules.ExecError
+	if errors.As(err, &xe) {
+		fmt.Fprintf(stderr, "ruleexec: %v\n", err)
+		fmt.Fprintln(stderr, "ruleexec: the failed consideration was rolled back; the database is consistent")
+		return 4
+	}
+	var ce *activerules.CancelledError
+	if errors.As(err, &ce) {
+		fmt.Fprintf(stderr, "ruleexec: rule processing interrupted: %v\n", err)
+		return 5
+	}
+	fmt.Fprintln(stderr, "ruleexec:", err)
+	return 2
 }
 
 // splitAssertSegments splits the script on lines that contain only the
@@ -156,9 +212,13 @@ func splitAssertSegments(src string) []string {
 	return segments
 }
 
-func runExplore(eng *activerules.Engine, stdout, stderr io.Writer) int {
-	res, err := activerules.Explore(eng, activerules.ExploreOptions{TrackObservables: true})
+func runExplore(ctx context.Context, eng *activerules.Engine, stdout, stderr io.Writer) int {
+	res, err := activerules.ExploreContext(ctx, eng, activerules.ExploreOptions{TrackObservables: true})
 	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "ruleexec: exploration interrupted: %v\n", err)
+			return 5
+		}
 		fmt.Fprintln(stderr, "ruleexec:", err)
 		return 2
 	}

@@ -196,3 +196,71 @@ func TestRuleexecErrors(t *testing.T) {
 		t.Error("user rollback script should exit 2")
 	}
 }
+
+// pingPongFixture writes a two-rule livelock set: ra and rb bounce a
+// single tuple between tables a and b forever.
+func pingPongFixture(t *testing.T) (schemaPath, rulesPath, scriptPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	schemaPath = write(t, dir, "schema.sdl", "table a (v int)\ntable b (v int)")
+	rulesPath = write(t, dir, "rules.srl", `
+create rule ra on a when inserted then delete from a; insert into b values (1)
+create rule rb on b when inserted then delete from b; insert into a values (1)
+`)
+	scriptPath = write(t, dir, "ops.sql", "insert into a values (1)")
+	return
+}
+
+func TestRuleexecLivelockWitness(t *testing.T) {
+	sp, rp, op := pingPongFixture(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-schema", sp, "-rules", rp, "-script", op, "-maxsteps", "100"}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("livelock run should exit 3, got %d; stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"livelock", "period 2", "ra", "rb", "->"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
+func TestRuleexecRuntimeActionError(t *testing.T) {
+	dir := t.TempDir()
+	sp := write(t, dir, "schema.sdl", "table t (v int)")
+	rp := write(t, dir, "rules.srl", "create rule bad on t when inserted then update t set v = v / 0")
+	op := write(t, dir, "ops.sql", "insert into t values (1)")
+	var out, errb bytes.Buffer
+	code := run([]string{"-schema", sp, "-rules", rp, "-script", op}, &out, &errb)
+	if code != 4 {
+		t.Fatalf("runtime action failure should exit 4, got %d; stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{`rule "bad"`, "division by zero", "rolled back"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
+func TestRuleexecTimeout(t *testing.T) {
+	// An already-expired deadline: AssertContext observes it before the
+	// first consideration, so the exit code is deterministic.
+	sp, rp, op := pingPongFixture(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-schema", sp, "-rules", rp, "-script", op, "-timeout", "1ns"}, &out, &errb)
+	if code != 5 {
+		t.Fatalf("timed-out run should exit 5, got %d; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr missing interruption diagnostic:\n%s", errb.String())
+	}
+
+	// -timeout also bounds -explore (exploration of this set would
+	// otherwise only stop at the cycle check).
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-schema", sp, "-rules", rp, "-script", op, "-explore", "-timeout", "1ns"}, &out, &errb)
+	if code != 5 {
+		t.Fatalf("timed-out exploration should exit 5, got %d; stderr: %s", code, errb.String())
+	}
+}

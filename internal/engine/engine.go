@@ -11,8 +11,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"activerules/internal/rules"
 	"activerules/internal/sqlmini"
@@ -64,6 +66,11 @@ type Result struct {
 	FiredByRule map[string]int
 }
 
+// Mutator receives the primitive data modifications of statement
+// execution (re-exported from sqlmini so fault-injection wrappers can be
+// threaded through Options without importing the SQL layer).
+type Mutator = sqlmini.Mutator
+
 // Options configure an Engine.
 type Options struct {
 	// MaxSteps bounds the number of rule considerations per assertion
@@ -74,6 +81,17 @@ type Options struct {
 	Strategy Strategy
 	// Trace, when non-nil, receives one TraceEvent per processing step.
 	Trace func(TraceEvent)
+	// WrapMutator, when non-nil, wraps the engine's recording mutator for
+	// every user script and rule action — the seam for deterministic
+	// fault injection (internal/faultinject). The wrapper sees exactly
+	// the primitive mutations statement execution performs.
+	WrapMutator func(Mutator) Mutator
+	// LivelockWindow is the number of final budget steps during which the
+	// engine tracks state recurrence to upgrade ErrMaxSteps into a
+	// *LivelockError with a concrete witness cycle; 0 means the default
+	// of 256, capped at MaxSteps. Tracking costs one state fingerprint
+	// per step, which is why it only runs under budget pressure.
+	LivelockWindow int
 }
 
 // Engine processes rules against a database. It is single-threaded.
@@ -95,6 +113,12 @@ type Engine struct {
 	// assertStart is the log position where the current assertion
 	// point's initial transition began.
 	assertStart int
+
+	// inFlight is true while rule processing at an assertion point is
+	// suspended by an error or cancellation: marks are mid-flight and the
+	// next Assert/AssertContext resumes instead of re-seeing the
+	// transition from assertStart.
+	inFlight bool
 }
 
 // New creates an engine over db for the rule set. The current database
@@ -129,6 +153,21 @@ func (e *Engine) SetStrategy(s Strategy) {
 
 // Set returns the engine's rule set.
 func (e *Engine) Set() *rules.Set { return e.set }
+
+// InFlight reports whether rule processing is suspended mid-assertion
+// (after an error or cancellation): the next Assert/AssertContext will
+// resume it rather than start fresh.
+func (e *Engine) InFlight() bool { return e.inFlight }
+
+// mutator builds the recording mutator for the current database,
+// applying the fault-injection wrapper when configured.
+func (e *Engine) mutator() sqlmini.Mutator {
+	var m sqlmini.Mutator = recordingMutator{db: e.db, log: e.log}
+	if e.opts.WrapMutator != nil {
+		m = e.opts.WrapMutator(m)
+	}
+	return m
+}
 
 // recordingMutator applies changes to the database and records them in
 // the transition log.
@@ -176,27 +215,54 @@ func (m recordingMutator) Update(table string, id storage.TupleID, col string, v
 // building the initial transition for the next assertion point. Source
 // may contain multiple ';'-separated statements. SELECT statements return
 // their rows in the results; ROLLBACK is not permitted here.
-func (e *Engine) ExecUser(src string) ([]sqlmini.StmtResult, error) {
+//
+// ExecUser is atomic: if any statement fails (or panics), the database
+// and the transition log are restored to their state at the call, so a
+// failed script leaves no partial transition behind.
+func (e *Engine) ExecUser(src string) (out []sqlmini.StmtResult, err error) {
 	sts, err := sqlmini.ParseStatements(src)
 	if err != nil {
 		return nil, err
 	}
+	db := e.db
+	sp := db.Savepoint()
+	logMark := e.log.Mark()
+	done := false
+	restore := func() {
+		if done {
+			return
+		}
+		done = true
+		db.RollbackTo(sp)
+		e.log.TruncateTo(logMark)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			restore()
+			out, err = nil, fmt.Errorf("engine: user script: %w",
+				&PanicError{Value: p, Stack: debug.Stack()})
+		}
+	}()
 	rc := &sqlmini.ResolveContext{Schema: e.set.Schema()}
-	ev := &sqlmini.Evaluator{DB: e.db, Mut: recordingMutator{db: e.db, log: e.log}}
-	var out []sqlmini.StmtResult
+	ev := &sqlmini.Evaluator{DB: e.db, Mut: e.mutator()}
 	for _, st := range sts {
 		if _, ok := st.(*sqlmini.Rollback); ok {
+			restore()
 			return nil, fmt.Errorf("engine: rollback is not permitted in user scripts; it is a rule action")
 		}
 		if err := sqlmini.ResolveStatement(st, rc); err != nil {
+			restore()
 			return nil, err
 		}
 		res, err := ev.Exec(st)
 		if err != nil {
+			restore()
 			return nil, err
 		}
 		out = append(out, res)
 	}
+	done = true
+	db.Release(sp)
 	return out, nil
 }
 
@@ -254,9 +320,37 @@ func transitionDataFor(n *transition.Net, table string) *sqlmini.TransitionData 
 // the condition holds) executes the action. It reports whether the action
 // fired and any observable events, and whether a rollback occurred.
 //
+// Consider is atomic: if the condition or any action statement fails —
+// including by panicking — the database, the transition log, and r's
+// mark are restored to their values at the call, the error is returned
+// as a *ExecError, and it is as if the rule had not been chosen. No
+// events from the aborted consideration are reported.
+//
 // Consider does not check that r is eligible; Assert and the model
 // checker only call it for eligible rules.
 func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, rolledBack bool, err error) {
+	prevMark := e.marks[r.Index()]
+	db := e.db
+	sp := db.Savepoint()
+	logMark := e.log.Mark()
+	done := false
+	restore := func() {
+		if done {
+			return
+		}
+		done = true
+		db.RollbackTo(sp)
+		e.log.TruncateTo(logMark)
+		e.marks[r.Index()] = prevMark
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			restore()
+			fired, events, rolledBack = false, nil, false
+			err = &ExecError{Rule: r.Name, Cause: &PanicError{Value: p, Stack: debug.Stack()}}
+		}
+	}()
+
 	net := e.pendingNet(r)
 	td := transitionDataFor(net, r.Table)
 	e.marks[r.Index()] = e.log.Mark()
@@ -266,25 +360,27 @@ func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, 
 		ev := &sqlmini.Evaluator{DB: e.db, Trans: td}
 		cond, err = ev.EvalPredicate(r.Condition)
 		if err != nil {
-			return false, nil, false, fmt.Errorf("engine: rule %q condition: %w", r.Name, err)
+			restore()
+			return false, nil, false, &ExecError{Rule: r.Name, Cause: err}
 		}
 	}
 	if !cond {
+		done = true
+		db.Release(sp)
 		return false, nil, false, nil
 	}
 
-	ev := &sqlmini.Evaluator{
-		DB:    e.db,
-		Trans: td,
-		Mut:   recordingMutator{db: e.db, log: e.log},
-	}
+	ev := &sqlmini.Evaluator{DB: e.db, Trans: td, Mut: e.mutator()}
 	for _, st := range r.Action {
 		res, err := ev.Exec(st)
 		if err != nil {
-			return true, events, false, fmt.Errorf("engine: rule %q action: %w", r.Name, err)
+			restore()
+			return false, nil, false, &ExecError{Rule: r.Name, Statement: st.String(), Cause: err}
 		}
 		if res.Rolled {
 			events = append(events, ObservableEvent{Rule: r.Name, Statement: st.String(), Rollback: true})
+			done = true
+			db.Release(sp) // db is replaced wholesale below
 			e.rollback()
 			return true, events, true, nil
 		}
@@ -292,6 +388,8 @@ func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, 
 			events = append(events, ObservableEvent{Rule: r.Name, Statement: st.String(), Rows: res.Rows})
 		}
 	}
+	done = true
+	db.Release(sp)
 	return true, events, false, nil
 }
 
@@ -304,6 +402,7 @@ func (e *Engine) rollback() {
 		e.marks[i] = 0
 	}
 	e.assertStart = 0
+	e.inFlight = false
 }
 
 // BeginAssert prepares rule processing at an assertion point without
@@ -320,29 +419,90 @@ func (e *Engine) BeginAssert() {
 // Assert runs rule processing at an assertion point (Section 2): rules
 // are repeatedly chosen from the eligible set and considered until no
 // rule is triggered, a rollback occurs, or the step budget is exhausted
-// (ErrMaxSteps).
+// (ErrMaxSteps, upgraded to *LivelockError when a state recurrence
+// proves nontermination). It is AssertContext with a background context.
 func (e *Engine) Assert() (Result, error) {
-	e.BeginAssert()
-	e.trace(TraceEvent{Kind: "assert-begin"})
+	return e.AssertContext(context.Background())
+}
+
+// AssertContext is Assert with cancellation: ctx is checked between
+// considerations, so callers can bound wall-clock time with a deadline.
+// On cancellation it returns a *CancelledError and leaves processing
+// suspended at a consideration boundary.
+//
+// Error contract (see the taxonomy in errors.go): after any error the
+// engine is consistent — completed considerations are durable, the
+// failed or unstarted work is absent — and processing is suspended
+// (InFlight). A subsequent Assert/AssertContext resumes exactly where it
+// stopped with a fresh budget; it does not re-see consumed transitions.
+func (e *Engine) AssertContext(ctx context.Context) (Result, error) {
+	if !e.inFlight {
+		e.BeginAssert()
+		e.inFlight = true
+		e.trace(TraceEvent{Kind: "assert-begin"})
+	} else {
+		e.trace(TraceEvent{Kind: "assert-resume"})
+	}
+	window := e.opts.LivelockWindow
+	if window <= 0 {
+		window = 256
+	}
+	if window > e.opts.MaxSteps {
+		window = e.opts.MaxSteps
+	}
+	trackFrom := e.opts.MaxSteps - window
+	var seen map[string]int // state fingerprint -> len(chosen) when observed
+	var chosen []string     // rules considered since tracking began
 	var res Result
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			e.trace(TraceEvent{Kind: "assert-cancelled", Considered: res.Considered, Fired: res.Fired})
+			return res, &CancelledError{Cause: cerr}
+		}
 		triggered := e.TriggeredRules()
 		eligible := e.set.Choose(triggered)
 		if len(eligible) == 0 {
 			e.assertStart = e.log.Mark()
+			e.inFlight = false
 			e.trace(TraceEvent{Kind: "assert-end", Considered: res.Considered, Fired: res.Fired})
 			return res, nil
 		}
+		// Under budget pressure, watch for a state recurrence: revisiting
+		// an execution-graph state proves an infinite path exists, which
+		// upgrades the inconclusive ErrMaxSteps to a concrete witness.
+		if res.Considered >= trackFrom {
+			fp := e.StateFingerprint()
+			if first, ok := seen[fp]; ok {
+				lerr := &LivelockError{
+					Cycle:  append([]string(nil), chosen[first:]...),
+					Period: len(chosen) - first,
+					Steps:  res.Considered,
+				}
+				e.trace(TraceEvent{Kind: "assert-error", Considered: res.Considered, Fired: res.Fired})
+				return res, lerr
+			}
+			if seen == nil {
+				seen = make(map[string]int)
+			}
+			seen[fp] = len(chosen)
+		}
 		if res.Considered >= e.opts.MaxSteps {
+			e.trace(TraceEvent{Kind: "assert-error", Considered: res.Considered, Fired: res.Fired})
 			return res, ErrMaxSteps
 		}
 		r := e.opts.Strategy.Pick(eligible)
-		if e.opts.Trace != nil {
-			e.trace(TraceEvent{Kind: "choose", Rule: r.Name,
-				Triggered: names(triggered), Eligible: names(eligible)})
+		e.trace(TraceEvent{Kind: "choose", Rule: r.Name,
+			Triggered: names(triggered), Eligible: names(eligible)})
+		if res.Considered >= trackFrom {
+			chosen = append(chosen, r.Name)
 		}
 		fired, events, rolled, err := e.Consider(r)
 		if err != nil {
+			var rule string
+			if xe, ok := err.(*ExecError); ok {
+				rule = xe.Rule
+			}
+			e.trace(TraceEvent{Kind: "assert-error", Rule: rule, Considered: res.Considered, Fired: res.Fired})
 			return res, err
 		}
 		res.Considered++
@@ -369,7 +529,9 @@ func (e *Engine) Assert() (Result, error) {
 }
 
 // Commit ends the transaction: the current state becomes the new
-// rollback snapshot and the transition log is cleared.
+// rollback snapshot and the transition log is cleared. Committing while
+// processing is suspended (InFlight) abandons the unprocessed remainder
+// of the transition.
 func (e *Engine) Commit() {
 	e.snapshot = e.db.Clone()
 	e.log.Truncate()
@@ -377,6 +539,7 @@ func (e *Engine) Commit() {
 		e.marks[i] = 0
 	}
 	e.assertStart = 0
+	e.inFlight = false
 }
 
 // Clone returns an independent copy of the engine (database, log, marks,
@@ -390,6 +553,7 @@ func (e *Engine) Clone() *Engine {
 		marks:       make([]int, len(e.marks)),
 		snapshot:    e.snapshot, // snapshot is never mutated; safe to share
 		assertStart: e.assertStart,
+		inFlight:    e.inFlight,
 	}
 	copy(ne.marks, e.marks)
 	return ne

@@ -13,10 +13,14 @@ import (
 // were eligible under the priorities, which was chosen, and what its
 // condition decided.
 type TraceEvent struct {
-	// Kind is one of "assert-begin", "choose", "fire", "skip",
-	// "rollback", "assert-end".
+	// Kind is one of "assert-begin", "assert-resume", "choose", "fire",
+	// "skip", "rollback", "assert-end", "assert-error",
+	// "assert-cancelled". Every assertion's trace closes with a terminal
+	// event: "assert-end", "rollback", "assert-error", or
+	// "assert-cancelled".
 	Kind string
-	// Rule is the rule being considered (choose/fire/skip/rollback).
+	// Rule is the rule being considered (choose/fire/skip/rollback), or
+	// the rule whose consideration failed (assert-error, when known).
 	Rule string
 	// Triggered and Eligible are the rule names at a "choose" event.
 	Triggered []string
@@ -31,8 +35,17 @@ func (ev TraceEvent) String() string {
 	switch ev.Kind {
 	case "assert-begin":
 		return "assert: begin"
+	case "assert-resume":
+		return "assert: resume"
 	case "assert-end":
 		return fmt.Sprintf("assert: end (considered=%d fired=%d)", ev.Considered, ev.Fired)
+	case "assert-error":
+		if ev.Rule != "" {
+			return fmt.Sprintf("assert: error in %s (considered=%d fired=%d)", ev.Rule, ev.Considered, ev.Fired)
+		}
+		return fmt.Sprintf("assert: error (considered=%d fired=%d)", ev.Considered, ev.Fired)
+	case "assert-cancelled":
+		return fmt.Sprintf("assert: cancelled (considered=%d fired=%d)", ev.Considered, ev.Fired)
 	case "choose":
 		return fmt.Sprintf("choose %s  triggered={%s} eligible={%s}",
 			ev.Rule, strings.Join(ev.Triggered, ","), strings.Join(ev.Eligible, ","))

@@ -1,0 +1,46 @@
+package execgraph
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// time0 returns an already-expired deadline.
+func time0() time.Time { return time.Unix(0, 1) }
+
+func TestExploreContextPreCancelled(t *testing.T) {
+	e := prep(t, "table t (v int)\ntable u (v int)", `
+create rule r on t when inserted then insert into u select v from inserted
+`, "insert into t values (1)", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExploreContext(ctx, e, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The engine itself is never mutated by exploration; a normal
+	// exploration afterwards still works.
+	res, err := Explore(e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminates() || len(res.FinalDBs) != 1 {
+		t.Error("post-cancel exploration should succeed")
+	}
+}
+
+func TestExploreContextCancelMidway(t *testing.T) {
+	// Nonterminating ping-pong: exploration would only stop at the cycle
+	// check; an already-expired deadline stops it immediately with an
+	// error instead of a partial result.
+	e := prep(t, "table a (v int)\ntable b (v int)", `
+create rule ra on a when inserted then delete from a; insert into b values (1)
+create rule rb on b when inserted then delete from b; insert into a values (1)
+`, "insert into a values (1)", nil)
+	ctx, cancel := context.WithDeadline(context.Background(), time0())
+	defer cancel()
+	if _, err := ExploreContext(ctx, e, Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+}

@@ -14,6 +14,7 @@
 package execgraph
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sort"
@@ -102,6 +103,7 @@ func (r *Result) ObservablyDeterministic() bool {
 
 type explorer struct {
 	opts Options
+	ctx  context.Context
 	res  *Result
 	// done marks fully explored state keys; onstack marks keys on the
 	// current DFS path (a revisit is a cycle).
@@ -116,6 +118,14 @@ type explorer struct {
 //	e.ExecUser("insert into t values (1)")
 //	res, err := execgraph.Explore(e, execgraph.Options{})
 func Explore(e *engine.Engine, opts Options) (*Result, error) {
+	return ExploreContext(context.Background(), e, opts)
+}
+
+// ExploreContext is Explore with cancellation: ctx is checked at every
+// state visit, so callers can bound the wall-clock time of an
+// exploration whose state space turns out to be huge. On cancellation it
+// returns ctx's error (wrapped, so errors.Is works) and no result.
+func ExploreContext(ctx context.Context, e *engine.Engine, opts Options) (*Result, error) {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 200000
 	}
@@ -124,6 +134,7 @@ func Explore(e *engine.Engine, opts Options) (*Result, error) {
 	}
 	x := &explorer{
 		opts: opts,
+		ctx:  ctx,
 		res: &Result{
 			FinalDBs:  make(map[[32]byte]*storage.DB),
 			Streams:   make(map[string][]engine.ObservableEvent),
@@ -162,6 +173,9 @@ func renderStream(obs []engine.ObservableEvent) string {
 }
 
 func (x *explorer) visit(e *engine.Engine, obs []engine.ObservableEvent, path []string, depth int) error {
+	if err := x.ctx.Err(); err != nil {
+		return fmt.Errorf("execgraph: exploration cancelled: %w", err)
+	}
 	if depth > x.opts.MaxDepth {
 		x.res.BoundExceeded = true
 		return nil

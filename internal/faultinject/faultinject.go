@@ -1,0 +1,129 @@
+// Package faultinject provides deterministic fault injection for the
+// engine's storage mutation path. An Injector wraps the engine's
+// recording mutator (via engine Options.WrapMutator) and makes chosen
+// primitive mutations fail — the Nth call, or each call with a seeded
+// probability — without applying them, so the partial-state scenarios a
+// real storage backend can produce (a multi-row statement failing
+// halfway) are reproducible in tests.
+//
+// The injector is deliberately single-threaded, like the engine it
+// instruments. A failed call performs no mutation at all: the fault
+// model is "the statement's Nth primitive operation was rejected",
+// leaving every earlier operation of the same statement applied — which
+// is exactly the mess the engine's action atomicity must clean up.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"activerules/internal/sqlmini"
+	"activerules/internal/storage"
+)
+
+// ErrInjected is the sentinel all injected failures wrap; test code
+// checks errors.Is(err, ErrInjected) to distinguish injected faults from
+// genuine ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Config selects which mutations fail.
+type Config struct {
+	// FailAt makes the Nth mutation call (1-based, counted across the
+	// injector's whole lifetime) return an error; 0 disables.
+	FailAt int
+	// PanicAt makes the Nth mutation call panic instead of returning an
+	// error, exercising panic containment; 0 disables.
+	PanicAt int
+	// P makes each mutation fail independently with this probability,
+	// drawn from a deterministic generator seeded with Seed.
+	P    float64
+	Seed int64
+}
+
+// Injector decides, deterministically, which mutation calls fail. One
+// injector may wrap any number of mutators (the engine builds a fresh
+// recording mutator per script and per rule action); the call counter
+// and random stream are shared across all of them.
+type Injector struct {
+	cfg    Config
+	rng    *rand.Rand
+	calls  int
+	faults int
+	armed  bool
+}
+
+// New returns an armed injector for the configuration.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), armed: true}
+}
+
+// Wrap returns a Mutator that delegates to m, injecting faults according
+// to the injector's configuration. Pass the method value in.Wrap as
+// engine Options.WrapMutator.
+func (in *Injector) Wrap(m sqlmini.Mutator) sqlmini.Mutator {
+	return wrapped{in: in, m: m}
+}
+
+// Calls returns the number of mutation calls observed so far, including
+// calls made while disarmed. A fault-free probe run with a disarmed
+// injector measures how many injection points a scenario has.
+func (in *Injector) Calls() int { return in.calls }
+
+// Faults returns the number of faults injected so far.
+func (in *Injector) Faults() int { return in.faults }
+
+// Arm (re-)enables fault injection; counting continues either way.
+func (in *Injector) Arm() { in.armed = true }
+
+// Disarm stops injecting faults while keeping the call counter running,
+// so a suspended engine can be resumed fault-free.
+func (in *Injector) Disarm() { in.armed = false }
+
+// check counts one mutation call and decides whether it fails.
+func (in *Injector) check(op, table string) error {
+	in.calls++
+	// The probabilistic draw happens even when disarmed or when FailAt
+	// decides first, so the random stream consumed per call is stable
+	// and runs with different FailAt values stay comparable.
+	probabilistic := in.cfg.P > 0 && in.rng.Float64() < in.cfg.P
+	if !in.armed {
+		return nil
+	}
+	if in.cfg.PanicAt > 0 && in.calls == in.cfg.PanicAt {
+		in.faults++
+		panic(fmt.Sprintf("faultinject: injected panic at %s %s (call %d)", op, table, in.calls))
+	}
+	if (in.cfg.FailAt > 0 && in.calls == in.cfg.FailAt) || probabilistic {
+		in.faults++
+		return fmt.Errorf("%w: %s %s (call %d)", ErrInjected, op, table, in.calls)
+	}
+	return nil
+}
+
+// wrapped is the fault-injecting mutator view.
+type wrapped struct {
+	in *Injector
+	m  sqlmini.Mutator
+}
+
+func (w wrapped) Insert(table string, vals []storage.Value) (storage.TupleID, error) {
+	if err := w.in.check("insert", table); err != nil {
+		return 0, err
+	}
+	return w.m.Insert(table, vals)
+}
+
+func (w wrapped) Delete(table string, id storage.TupleID) error {
+	if err := w.in.check("delete", table); err != nil {
+		return err
+	}
+	return w.m.Delete(table, id)
+}
+
+func (w wrapped) Update(table string, id storage.TupleID, col string, v storage.Value) error {
+	if err := w.in.check("update", table); err != nil {
+		return err
+	}
+	return w.m.Update(table, id, col, v)
+}

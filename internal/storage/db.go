@@ -16,6 +16,81 @@ type DB struct {
 	sch    *schema.Schema
 	tables map[string]*Table
 	nextID TupleID
+
+	// undo records, most recent last, how to reverse every primitive
+	// mutation performed while a savepoint is active. spDepth counts
+	// active savepoints; while it is nonzero, tables suppress order-slice
+	// compaction so undo can restore exact iteration order.
+	undo    []undoEntry
+	spDepth int
+}
+
+// undoKind identifies the primitive mutation an undoEntry reverses.
+type undoKind int
+
+const (
+	undoInsert undoKind = iota
+	undoDelete
+	undoUpdate
+)
+
+// undoEntry holds what RollbackTo needs to reverse one mutation.
+type undoEntry struct {
+	kind undoKind
+	t    *Table
+	id   TupleID
+	col  int    // update: column index
+	old  Value  // update: previous value
+	row  *Tuple // delete: the removed tuple object
+}
+
+// Savepoint is a point-in-time marker in a DB's mutation history.
+// RollbackTo returns the database to exactly the marked state (contents,
+// iteration order, and identity allocation); Release keeps the changes
+// and discards the undo records. Every Savepoint must be consumed by
+// exactly one RollbackTo or Release, innermost first when nested.
+type Savepoint struct {
+	undoLen int
+	nextID  TupleID
+	depth   int
+}
+
+// Savepoint marks the current state for a cheap partial rollback. Unlike
+// Clone, taking a savepoint is O(1); the cost is a small undo record per
+// subsequent mutation until the savepoint is released or rolled back.
+func (db *DB) Savepoint() Savepoint {
+	db.spDepth++
+	return Savepoint{undoLen: len(db.undo), nextID: db.nextID, depth: db.spDepth}
+}
+
+// RollbackTo reverses every mutation performed since the savepoint was
+// taken, restoring contents, iteration order, and the identity counter.
+func (db *DB) RollbackTo(sp Savepoint) {
+	for i := len(db.undo) - 1; i >= sp.undoLen; i-- {
+		u := db.undo[i]
+		switch u.kind {
+		case undoInsert:
+			u.t.unInsert(u.id)
+		case undoDelete:
+			u.t.unDelete(u.row)
+		case undoUpdate:
+			u.t.rows[u.id].Vals[u.col] = u.old
+		}
+	}
+	db.undo = db.undo[:sp.undoLen]
+	db.nextID = sp.nextID
+	db.spDepth = sp.depth - 1
+}
+
+// Release discards the savepoint, keeping all mutations made since it
+// was taken. Under nesting, the kept mutations remain undoable by the
+// enclosing savepoint; only releasing the outermost savepoint drops the
+// accumulated undo records.
+func (db *DB) Release(sp Savepoint) {
+	db.spDepth = sp.depth - 1
+	if db.spDepth == 0 {
+		db.undo = db.undo[:0]
+	}
 }
 
 // NewDB creates an empty database for the schema.
@@ -56,6 +131,9 @@ func (db *DB) Insert(table string, vals []Value) (TupleID, error) {
 	id := db.nextID
 	db.nextID++
 	t.insert(&Tuple{ID: id, Vals: coerced})
+	if db.spDepth > 0 {
+		db.undo = append(db.undo, undoEntry{kind: undoInsert, t: t, id: id})
+	}
 	return id, nil
 }
 
@@ -79,7 +157,10 @@ func (db *DB) Delete(table string, id TupleID) *Tuple {
 	if tu == nil {
 		return nil
 	}
-	t.delete(id)
+	t.delete(id, db.spDepth == 0)
+	if db.spDepth > 0 {
+		db.undo = append(db.undo, undoEntry{kind: undoDelete, t: t, id: id, row: tu})
+	}
 	return tu
 }
 
@@ -104,12 +185,17 @@ func (db *DB) Update(table string, id TupleID, col string, v Value) (Value, erro
 	}
 	old := tu.Vals[ci]
 	tu.Vals[ci] = cv
+	if db.spDepth > 0 {
+		db.undo = append(db.undo, undoEntry{kind: undoUpdate, t: t, id: id, col: ci, old: old})
+	}
 	return old, nil
 }
 
 // Clone returns a deep copy of the database sharing no mutable state with
 // the original. Tuple identities are preserved, so transitions recorded
-// against the original remain meaningful against the clone.
+// against the original remain meaningful against the clone. Savepoint
+// bookkeeping is not carried over: the clone captures the current
+// contents with no savepoints active.
 func (db *DB) Clone() *DB {
 	nd := &DB{sch: db.sch, tables: make(map[string]*Table, len(db.tables)), nextID: db.nextID}
 	for name, t := range db.tables {

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"activerules/internal/schema"
+)
+
+func savepointDB(t *testing.T) *DB {
+	t.Helper()
+	sch, err := schema.Parse("table t (v int, s string)\ntable u (v int)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDB(sch)
+}
+
+// stateKey captures everything a savepoint must restore: contents,
+// iteration order, and the identity counter.
+func stateKey(db *DB, tables ...string) string {
+	out := ""
+	for _, name := range tables {
+		tbl := db.Table(name)
+		out += name + "["
+		tbl.Scan(func(tu *Tuple) bool {
+			out += fmt.Sprintf("%d:", tu.ID)
+			for _, v := range tu.Vals {
+				out += v.String() + ","
+			}
+			out += ";"
+			return true
+		})
+		out += "]"
+	}
+	return out + fmt.Sprintf("next=%d", db.nextID)
+}
+
+func TestSavepointRollbackRestoresEverything(t *testing.T) {
+	db := savepointDB(t)
+	a := db.MustInsert("t", IntV(1), StringV("a"))
+	b := db.MustInsert("t", IntV(2), StringV("b"))
+	db.MustInsert("u", IntV(9))
+	before := stateKey(db, "t", "u")
+	beforeFP := db.Fingerprint()
+
+	sp := db.Savepoint()
+	db.MustInsert("t", IntV(3), StringV("c"))
+	if _, err := db.Update("t", a, "v", IntV(100)); err != nil {
+		t.Fatal(err)
+	}
+	db.Delete("t", b)
+	c := db.MustInsert("u", IntV(10))
+	db.Delete("u", c) // insert-then-delete inside the savepoint
+	if db.Fingerprint() == beforeFP {
+		t.Fatal("mutations must change the fingerprint")
+	}
+
+	db.RollbackTo(sp)
+	if db.Fingerprint() != beforeFP {
+		t.Errorf("fingerprint not restored:\n%s", db.String())
+	}
+	if got := stateKey(db, "t", "u"); got != before {
+		t.Errorf("exact state not restored:\n got %s\nwant %s", got, before)
+	}
+}
+
+func TestSavepointRelease(t *testing.T) {
+	db := savepointDB(t)
+	sp := db.Savepoint()
+	db.MustInsert("t", IntV(1), StringV("x"))
+	db.Release(sp)
+	if db.Table("t").Len() != 1 {
+		t.Error("release must keep the mutations")
+	}
+	if len(db.undo) != 0 || db.spDepth != 0 {
+		t.Errorf("release of outermost savepoint must clear undo state: %d entries, depth %d",
+			len(db.undo), db.spDepth)
+	}
+}
+
+func TestSavepointNesting(t *testing.T) {
+	db := savepointDB(t)
+	db.MustInsert("t", IntV(1), StringV("a"))
+	outer := db.Savepoint()
+	db.MustInsert("t", IntV(2), StringV("b"))
+	afterOuter := db.Fingerprint()
+
+	inner := db.Savepoint()
+	db.MustInsert("t", IntV(3), StringV("c"))
+	db.RollbackTo(inner)
+	if db.Fingerprint() != afterOuter {
+		t.Error("inner rollback must restore to the inner savepoint only")
+	}
+
+	// Released inner work must remain undoable by the outer savepoint.
+	inner2 := db.Savepoint()
+	db.MustInsert("t", IntV(4), StringV("d"))
+	db.Release(inner2)
+	if db.Table("t").Len() != 3 {
+		t.Fatal("released inner savepoint must keep its insert")
+	}
+	db.RollbackTo(outer)
+	if db.Table("t").Len() != 1 {
+		t.Errorf("outer rollback must undo released inner work: %d rows", db.Table("t").Len())
+	}
+}
+
+func TestSavepointDeleteKeepsOrder(t *testing.T) {
+	db := savepointDB(t)
+	var ids []TupleID
+	for i := 0; i < 40; i++ {
+		ids = append(ids, db.MustInsert("t", IntV(int64(i)), StringV("x")))
+	}
+	before := stateKey(db, "t")
+	sp := db.Savepoint()
+	// Mass deletion would normally trigger order compaction; under a
+	// savepoint it must not, so rollback restores iteration order.
+	for _, id := range ids[:35] {
+		db.Delete("t", id)
+	}
+	db.RollbackTo(sp)
+	if got := stateKey(db, "t"); got != before {
+		t.Errorf("iteration order lost across rollback:\n got %s\nwant %s", got, before)
+	}
+	// With no savepoint active, compaction is back on and harmless.
+	for _, id := range ids[:35] {
+		db.Delete("t", id)
+	}
+	if db.Table("t").Len() != 5 {
+		t.Errorf("post-release deletes lost: %d rows", db.Table("t").Len())
+	}
+}
+
+func TestSavepointRestoresNextID(t *testing.T) {
+	db := savepointDB(t)
+	sp := db.Savepoint()
+	first := db.MustInsert("t", IntV(1), StringV("a"))
+	db.RollbackTo(sp)
+	again := db.MustInsert("t", IntV(1), StringV("a"))
+	if first != again {
+		t.Errorf("identity allocation must replay after rollback: %d vs %d", first, again)
+	}
+}
+
+func TestCloneDropsSavepointState(t *testing.T) {
+	db := savepointDB(t)
+	sp := db.Savepoint()
+	db.MustInsert("t", IntV(1), StringV("a"))
+	clone := db.Clone()
+	db.RollbackTo(sp)
+	if clone.Table("t").Len() != 1 {
+		t.Error("clone must be unaffected by the original's rollback")
+	}
+	if clone.spDepth != 0 || len(clone.undo) != 0 {
+		t.Error("clone must not inherit savepoint bookkeeping")
+	}
+}

@@ -88,14 +88,16 @@ func (t *Table) insert(tu *Tuple) {
 	t.nlived++
 }
 
-func (t *Table) delete(id TupleID) bool {
+func (t *Table) delete(id TupleID, compact bool) bool {
 	if _, ok := t.rows[id]; !ok {
 		return false
 	}
 	delete(t.rows, id)
 	t.nlived--
-	// Compact the order slice when it is mostly tombstones.
-	if len(t.order) > 16 && t.nlived*4 < len(t.order) {
+	// Compact the order slice when it is mostly tombstones. Compaction is
+	// suppressed while a savepoint is active: unDelete relies on the
+	// deleted identity keeping its original position in the order slice.
+	if compact && len(t.order) > 16 && t.nlived*4 < len(t.order) {
 		live := t.order[:0]
 		for _, oid := range t.order {
 			if _, ok := t.rows[oid]; ok {
@@ -105,6 +107,26 @@ func (t *Table) delete(id TupleID) bool {
 		t.order = live
 	}
 	return true
+}
+
+// unInsert reverses an insert made under a savepoint. Undo records are
+// applied most recent first, so the inserted identity is still the last
+// element of the order slice (later inserts have already been undone and
+// deletes never append).
+func (t *Table) unInsert(id TupleID) {
+	delete(t.rows, id)
+	t.nlived--
+	if n := len(t.order); n > 0 && t.order[n-1] == id {
+		t.order = t.order[:n-1]
+	}
+}
+
+// unDelete reverses a delete made under a savepoint. The identity kept
+// its slot in the order slice (compaction is suppressed while savepoints
+// are active), so restoring the rows entry restores iteration order too.
+func (t *Table) unDelete(tu *Tuple) {
+	t.rows[tu.ID] = tu
+	t.nlived++
 }
 
 func (t *Table) clone() *Table {

@@ -112,6 +112,28 @@ func (l *Log) Truncate() {
 	l.lastTouch = nil
 }
 
+// TruncateTo discards every entry at or after mark, returning the log to
+// the state it had when Mark reported mark. The engine uses it to erase
+// the recording of a failed rule action after the database savepoint has
+// been rolled back.
+func (l *Log) TruncateTo(mark int) {
+	if mark >= len(l.entries) {
+		return
+	}
+	if mark <= 0 {
+		l.Truncate()
+		return
+	}
+	l.entries = l.entries[:mark]
+	l.lastTouch = nil
+	for i, e := range l.entries {
+		if l.lastTouch == nil {
+			l.lastTouch = make(map[string]int)
+		}
+		l.lastTouch[e.table] = i
+	}
+}
+
 // Clone returns an independent copy of the log. Entries are immutable
 // once recorded, so a shallow copy of the slice suffices.
 func (l *Log) Clone() *Log {
