@@ -49,6 +49,7 @@ import (
 	"activerules/internal/engine"
 	"activerules/internal/execgraph"
 	"activerules/internal/faultinject"
+	"activerules/internal/par"
 	"activerules/internal/ruledef"
 	"activerules/internal/rules"
 	"activerules/internal/schema"
@@ -205,7 +206,18 @@ type System struct {
 	schema *Schema
 	rules  *RuleSet
 	defs   []Definition // authored definitions, kept for Without
+
+	// analysisPar is the resolved worker count applied to every
+	// analyzer the system constructs; 0 (never set) means the
+	// sequential legacy path.
+	analysisPar int
 }
+
+// SetAnalysisParallelism sets the worker count used by the analyzers
+// this system constructs (see Analyzer.SetParallelism): 0 means one
+// worker per CPU, 1 (the default) the sequential legacy path, n > 1
+// exactly n workers. Verdicts are identical at every parallelism.
+func (s *System) SetAnalysisParallelism(n int) { s.analysisPar = par.Workers(n) }
 
 // Load parses a schema definition and a rule definition file and
 // compiles them together.
@@ -276,7 +288,7 @@ func (s *System) WithOrdering(pairs ...[2]string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{schema: s.schema, rules: ns, defs: s.defs}, nil
+	return &System{schema: s.schema, rules: ns, defs: s.defs, analysisPar: s.analysisPar}, nil
 }
 
 // Without returns a new System with the named rules deactivated
@@ -322,7 +334,11 @@ func filterNames(in []string, drop map[string]bool) []string {
 // Analyzer returns an analyzer honoring the certifications (nil for
 // none).
 func (s *System) Analyzer(cert *Certification) *Analyzer {
-	return analysis.New(s.rules, cert)
+	a := analysis.New(s.rules, cert)
+	if s.analysisPar > 0 {
+		a.SetParallelism(s.analysisPar)
+	}
+	return a
 }
 
 // NewDB returns an empty database over the system's schema.
@@ -344,6 +360,20 @@ func Explore(e *Engine, opts ExploreOptions) (*ExploreResult, error) {
 // every state visit, bounding the wall-clock time of large explorations.
 func ExploreContext(ctx context.Context, e *Engine, opts ExploreOptions) (*ExploreResult, error) {
 	return execgraph.ExploreContext(ctx, e, opts)
+}
+
+// ExploreParallel is Explore with a worker pool (opts.Parallelism
+// workers over a memo table of opts.MemoShards shards): verdicts are
+// bit-identical to Explore's, and witnesses are chosen deterministically
+// (shortest-then-lexicographically-least schedule), so output is
+// run-to-run stable.
+func ExploreParallel(e *Engine, opts ExploreOptions) (*ExploreResult, error) {
+	return execgraph.ExploreParallel(e, opts)
+}
+
+// ExploreParallelContext is ExploreParallel with cancellation.
+func ExploreParallelContext(ctx context.Context, e *Engine, opts ExploreOptions) (*ExploreResult, error) {
+	return execgraph.ExploreParallelContext(ctx, e, opts)
 }
 
 // Report bundles all four verdicts for one rule set.

@@ -1,0 +1,121 @@
+package main
+
+// Golden-file tests for rulecheck's report surfaces. Run with -update to
+// rewrite the golden files after an intentional output change:
+//
+//	go test ./cmd/rulecheck -run TestGolden -update
+//
+// Every surface the command renders — the full report, the quiet
+// summary, JSON, Graphviz DOT, the pair explainer, partial confluence,
+// statistics, and the auto-repair plan — must be byte-stable: the
+// analyses iterate sets in sorted order precisely so that two runs (and
+// any worker count) print identical bytes.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const bankSchema = "../../testdata/bank/schema.sdl"
+const bankRules = "../../testdata/bank/rules.srl"
+const bankCerts = "../../testdata/bank/certs.txt"
+const powerSchema = "../../testdata/powernet/schema.sdl"
+const powerRules = "../../testdata/powernet/rules.srl"
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"bank-report", []string{"-schema", bankSchema, "-rules", bankRules}, 1},
+		{"bank-report-cert", []string{"-schema", bankSchema, "-rules", bankRules, "-cert", bankCerts}, 0},
+		{"bank-quiet", []string{"-schema", bankSchema, "-rules", bankRules, "-quiet"}, 1},
+		{"bank-json", []string{"-schema", bankSchema, "-rules", bankRules, "-json"}, 1},
+		{"bank-dot", []string{"-schema", bankSchema, "-rules", bankRules, "-dot"}, 0},
+		{"bank-why", []string{"-schema", bankSchema, "-rules", bankRules, "-why", "r_hold,r_purge"}, 0},
+		{"bank-tables", []string{"-schema", bankSchema, "-rules", bankRules, "-cert", bankCerts, "-tables", "audit"}, 0},
+		{"bank-stats", []string{"-schema", bankSchema, "-rules", bankRules, "-stats", "-cert", bankCerts}, 0},
+		{"bank-autorepair", []string{"-schema", bankSchema, "-rules", bankRules, "-autorepair"}, 0},
+		{"powernet-report", []string{"-schema", powerSchema, "-rules", powerRules}, 1},
+		{"powernet-dot", []string{"-schema", powerSchema, "-rules", powerRules, "-dot"}, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run(tc.args, &out, &errb)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d; stderr: %s", code, tc.wantCode, errb.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (run with -update after intentional changes)\ngot:\n%s\nwant:\n%s",
+					golden, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenStableAcrossParallelism re-renders every golden surface with
+// -parallel 8 and compares against the same golden files: the -parallel
+// flag is a pure performance knob and must never change a byte of
+// output.
+func TestGoldenStableAcrossParallelism(t *testing.T) {
+	cases := [][]string{
+		{"-schema", bankSchema, "-rules", bankRules},
+		{"-schema", bankSchema, "-rules", bankRules, "-cert", bankCerts},
+		{"-schema", bankSchema, "-rules", bankRules, "-json"},
+		{"-schema", powerSchema, "-rules", powerRules},
+	}
+	goldens := []string{"bank-report", "bank-report-cert", "bank-json", "powernet-report"}
+	for i, args := range cases {
+		want, err := os.ReadFile(filepath.Join("testdata", goldens[i]+".golden"))
+		if err != nil {
+			t.Fatalf("%v (run TestGolden with -update first)", err)
+		}
+		var out, errb bytes.Buffer
+		run(append(append([]string{}, args...), "-parallel", "8"), &out, &errb)
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("%s: -parallel 8 output differs from golden", goldens[i])
+		}
+	}
+}
+
+// TestGoldenRepeatable runs the full report twice in-process and demands
+// byte equality — a tripwire for any nondeterministic iteration sneaking
+// back into the analyses or report rendering.
+func TestGoldenRepeatable(t *testing.T) {
+	render := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-schema", bankSchema, "-rules", bankRules, "-stats"}, &out, &errb); code != 1 {
+			t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs from run 0:\n%s", i+1, fmt.Sprintf("got:\n%s\nwant:\n%s", got, first))
+		}
+	}
+}

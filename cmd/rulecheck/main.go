@@ -12,6 +12,9 @@
 //
 //	-cert file      certification file (see below); repeatable via commas
 //	-tables t1,t2   also analyze partial confluence w.r.t. these tables
+//	-parallel n     worker count for the pairwise analyses: 0 means one
+//	                worker per CPU, 1 (the default) the sequential path;
+//	                verdicts are identical at every setting
 //	-quiet          print only the one-line verdict summary
 //
 // The certification file carries the facts a user has verified in the
@@ -60,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	partition := fs.Bool("partition", false, "show independent rule partitions (incremental analysis)")
 	dot := fs.Bool("dot", false, "print the triggering graph in Graphviz DOT format and exit")
 	user := fs.String("user", "", "restrict user operations, e.g. insert:t,update:t.c,delete:u")
+	parallel := fs.Int("parallel", 1, "analysis worker count (0 = one per CPU, 1 = sequential)")
 	quiet := fs.Bool("quiet", false, "print only the verdict summary")
 	jsonOut := fs.Bool("json", false, "emit the verdicts as JSON")
 	stats := fs.Bool("stats", false, "include rule-set statistics in the report")
@@ -97,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}
 		}
 	}
+
+	sys.SetAnalysisParallelism(*parallel)
 
 	if *dot {
 		fmt.Fprint(stdout, sys.TriggeringGraphDOT(cert))

@@ -20,6 +20,10 @@
 //	-explore         instead of one run, exhaustively model-check every
 //	                 execution order and report the distinct final
 //	                 states and observable streams
+//	-parallel n      worker count for -explore: 0 means one worker per
+//	                 CPU, 1 (the default) the sequential explorer, n > 1
+//	                 exactly n workers; verdicts are identical at every
+//	                 setting
 //
 // Exit status:
 //
@@ -72,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	maxSteps := fs.Int("maxsteps", 10000, "rule consideration budget")
 	timeout := fs.Duration("timeout", 0, "wall-clock bound for rule processing (0 = none)")
 	explore := fs.Bool("explore", false, "model-check all execution orders instead of one run")
+	parallel := fs.Int("parallel", 1, "worker count for -explore (0 = one per CPU, 1 = sequential)")
 	traceFlag := fs.Bool("trace", false, "print each rule-processing step")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -145,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}
 		}
 		if *explore && i == len(segments)-1 {
-			return runExplore(ctx, eng, stdout, stderr)
+			return runExplore(ctx, eng, *parallel, stdout, stderr)
 		}
 		res, err := eng.AssertContext(ctx)
 		if err != nil {
@@ -212,8 +217,16 @@ func splitAssertSegments(src string) []string {
 	return segments
 }
 
-func runExplore(ctx context.Context, eng *activerules.Engine, stdout, stderr io.Writer) int {
-	res, err := activerules.ExploreContext(ctx, eng, activerules.ExploreOptions{TrackObservables: true})
+func runExplore(ctx context.Context, eng *activerules.Engine, parallel int, stdout, stderr io.Writer) int {
+	opts := activerules.ExploreOptions{TrackObservables: true}
+	var res *activerules.ExploreResult
+	var err error
+	if parallel == 1 {
+		res, err = activerules.ExploreContext(ctx, eng, opts)
+	} else {
+		opts.Parallelism = parallel
+		res, err = activerules.ExploreParallelContext(ctx, eng, opts)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintf(stderr, "ruleexec: exploration interrupted: %v\n", err)

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"sync"
+
+	"activerules/internal/par"
 	"activerules/internal/rules"
 	"activerules/internal/schema"
 )
@@ -20,11 +23,21 @@ type Analyzer struct {
 	// soundness under exact net-effect semantics.
 	noCond7 bool
 
+	// par is the resolved worker count for the pairwise passes
+	// (CommutativityMatrix, the Confluence Requirement sweep, and Sig's
+	// closure), set via SetParallelism. The zero value — never set —
+	// means the sequential legacy path.
+	par int
+
 	// commuteCache memoizes Commute results by rule-index pair. The
 	// Confluence Requirement re-checks the same pairs across many
 	// R1 × R2 expansions, and Sig's closure re-checks them across
 	// fixpoint iterations; an Analyzer's inputs (set, certifications,
-	// view) are fixed, so the verdicts never change. Lazily allocated.
+	// view) are fixed, so the verdicts never change. Lazily allocated;
+	// cacheMu makes concurrent Commute calls from the parallel passes
+	// safe (a racing pair is computed twice, but the verdict is a pure
+	// function of the pair, so either write is correct).
+	cacheMu      sync.Mutex
 	commuteCache map[[2]int]commuteResult
 }
 
@@ -57,6 +70,26 @@ func New(set *rules.Set, cert *Certification) *Analyzer {
 	return &Analyzer{set: set, cert: cert, view: baseView()}
 }
 
+// SetParallelism sets the worker count for the pairwise passes: 0 means
+// one worker per CPU (GOMAXPROCS), 1 (the default) the sequential
+// legacy path, n > 1 exactly n workers. Every verdict is identical at
+// every parallelism — the passes parallelize over independent pair
+// checks and round-synchronous closure snapshots, never over anything
+// order-sensitive. It returns the analyzer for chaining.
+func (a *Analyzer) SetParallelism(n int) *Analyzer {
+	a.par = par.Workers(n)
+	return a
+}
+
+// workers returns the effective worker count: 1 (sequential) until
+// SetParallelism is called.
+func (a *Analyzer) workers() int {
+	if a.par == 0 {
+		return 1
+	}
+	return a.par
+}
+
 // Set returns the analyzed rule set.
 func (a *Analyzer) Set() *rules.Set { return a.set }
 
@@ -74,7 +107,8 @@ func (a *Analyzer) graph() *TriggeringGraph {
 	return a.tg
 }
 
-// withView derives an analyzer sharing everything but the view.
+// withView derives an analyzer sharing everything but the view (and the
+// commute cache, whose entries depend on the view).
 func (a *Analyzer) withView(v ruleView) *Analyzer {
-	return &Analyzer{set: a.set, cert: a.cert, view: v, tg: a.tg}
+	return &Analyzer{set: a.set, cert: a.cert, view: v, tg: a.tg, par: a.par}
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 
+	"activerules/internal/par"
 	"activerules/internal/rules"
 	"activerules/internal/schema"
 )
@@ -55,14 +56,19 @@ func (a *Analyzer) Commute(ri, rj *rules.Rule) (bool, []NoncommuteReason) {
 	if key[0] > key[1] {
 		key[0], key[1] = key[1], key[0]
 	}
-	if res, hit := a.commuteCache[key]; hit {
+	a.cacheMu.Lock()
+	res, hit := a.commuteCache[key]
+	a.cacheMu.Unlock()
+	if hit {
 		return res.ok, res.reasons
 	}
 	ok, reasons := a.commuteUncached(ri, rj)
+	a.cacheMu.Lock()
 	if a.commuteCache == nil {
 		a.commuteCache = make(map[[2]int]commuteResult)
 	}
 	a.commuteCache[key] = commuteResult{ok: ok, reasons: reasons}
+	a.cacheMu.Unlock()
 	return ok, reasons
 }
 
@@ -70,20 +76,30 @@ func (a *Analyzer) commuteUncached(ri, rj *rules.Rule) (bool, []NoncommuteReason
 	if a.cert.Commutes(ri.Name, rj.Name) {
 		return true, nil
 	}
-	reasons := a.noncommuteOneWay(ri, rj)
-	reasons = append(reasons, a.noncommuteOneWay(rj, ri)...) // condition 6
+	// Evaluate the two directions in canonical (definition) order, not
+	// argument order: the result is cached under the unordered pair, so
+	// a caller-order-dependent reason list would make reports depend on
+	// which caller populated the cache first.
+	lo, hi := ri, rj
+	if lo.Index() > hi.Index() {
+		lo, hi = hi, lo
+	}
+	reasons := a.noncommuteOneWay(lo, hi)
+	reasons = append(reasons, a.noncommuteOneWay(hi, lo)...) // condition 6
 	return len(reasons) == 0, reasons
 }
 
 // noncommuteOneWay evaluates conditions 1–5 of Lemma 6.1 with the given
-// direction of ri and rj.
+// direction of ri and rj. The op and column sets are iterated in sorted
+// order so the reported Detail — and therefore every rendered report —
+// is deterministic.
 func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 	var out []NoncommuteReason
-	perfI := a.view.performs(ri)
-	perfJ := a.view.performs(rj)
+	perfI := a.view.performs(ri).Sorted()
+	perfJ := a.view.performs(rj).Sorted()
 
 	// 1. rj ∈ Triggers(ri): ri can cause rj to become triggered.
-	for op := range perfI {
+	for _, op := range perfI {
 		if rj.TriggeredBy().Contains(op) {
 			out = append(out, NoncommuteReason{Cond: 1, From: ri.Name, To: rj.Name, Detail: op.String()})
 			break
@@ -98,7 +114,8 @@ func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 
 	// 3. ri's operations can affect what rj reads.
 	readsJ := a.view.reads(rj)
-	for op := range perfI {
+	readsJSorted := readsJ.Sorted()
+	for _, op := range perfI {
 		hit := false
 		var detail string
 		switch op.Kind {
@@ -108,7 +125,7 @@ func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 				detail = op.String() + " vs read of " + op.Table + "." + op.Column
 			}
 		case schema.OpInsert, schema.OpDelete:
-			for ref := range readsJ {
+			for _, ref := range readsJSorted {
 				if ref.Table == op.Table {
 					hit = true
 					detail = op.String() + " vs read of " + ref.String()
@@ -125,13 +142,13 @@ func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 	// 4. ri's insertions can affect what rj updates or deletes. (In SQL
 	// a table can be deleted from or updated without being read, which
 	// is why this is distinct from condition 3 — footnote 3.)
-	for op := range perfI {
+	for _, op := range perfI {
 		if op.Kind != schema.OpInsert {
 			continue
 		}
 		hit := false
 		var detail string
-		for opJ := range perfJ {
+		for _, opJ := range perfJ {
 			if opJ.Table == op.Table && (opJ.Kind == schema.OpDelete || opJ.Kind == schema.OpUpdate) {
 				hit = true
 				detail = op.String() + " vs " + opJ.String()
@@ -145,11 +162,12 @@ func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 	}
 
 	// 5. ri's updates can affect rj's updates of the same column.
-	for op := range perfI {
+	perfJSet := a.view.performs(rj)
+	for _, op := range perfI {
 		if op.Kind != schema.OpUpdate {
 			continue
 		}
-		if perfJ.Contains(op) {
+		if perfJSet.Contains(op) {
 			out = append(out, NoncommuteReason{Cond: 5, From: ri.Name, To: rj.Name, Detail: op.String()})
 			break
 		}
@@ -169,13 +187,13 @@ func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 	// had rj been considered after the insert. Exhaustive execution-graph
 	// exploration exhibits genuine divergence without this condition; see
 	// DESIGN.md ("Deviations").
-	for op := range perfI {
+	for _, op := range perfI {
 		if op.Kind != schema.OpInsert {
 			continue
 		}
 		hit := false
 		var detail string
-		for trig := range rj.TriggeredBy() {
+		for _, trig := range rj.TriggeredBy().Sorted() {
 			if trig.Table == op.Table && (trig.Kind == schema.OpDelete || trig.Kind == schema.OpUpdate) {
 				hit = true
 				detail = op.String() + " vs trigger " + trig.String()
@@ -191,20 +209,30 @@ func (a *Analyzer) noncommuteOneWay(ri, rj *rules.Rule) []NoncommuteReason {
 }
 
 // CommutativityMatrix reports, for every unordered index pair i < j,
-// whether the rules commute. Used by benchmarks and reports.
+// whether the rules commute. Used by benchmarks and reports. The pair
+// checks are independent, so they run across the analyzer's configured
+// parallelism; each worker writes disjoint cells, and the matrix is
+// identical at every worker count.
 func (a *Analyzer) CommutativityMatrix() [][]bool {
 	rs := a.set.Rules()
-	out := make([][]bool, len(rs))
+	n := len(rs)
+	out := make([][]bool, n)
 	for i := range rs {
-		out[i] = make([]bool, len(rs))
+		out[i] = make([]bool, n)
 		out[i][i] = true
 	}
-	for i := range rs {
-		for j := i + 1; j < len(rs); j++ {
-			ok, _ := a.Commute(rs[i], rs[j])
-			out[i][j] = ok
-			out[j][i] = ok
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
 		}
 	}
+	par.ForEach(a.workers(), len(pairs), func(k int) {
+		p := pairs[k]
+		ok, _ := a.Commute(rs[p.i], rs[p.j])
+		out[p.i][p.j] = ok
+		out[p.j][p.i] = ok
+	})
 	return out
 }

@@ -1,0 +1,122 @@
+package analysis
+
+// Metamorphic tests for the parallel pairwise passes: every analysis
+// verdict must be byte-identical at every worker count, because the
+// passes parallelize over independent pair checks (CommutativityMatrix,
+// the Confluence Requirement sweep) and round-synchronous monotone
+// closure snapshots (Sig), never over anything order-sensitive.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"activerules/internal/workload"
+)
+
+func metamorphicWorkloads(t *testing.T) []*workload.Generated {
+	t.Helper()
+	var out []*workload.Generated
+	for _, cfg := range []workload.Config{
+		{Seed: 11, Rules: 24, Tables: 8, UpdateFrac: 0.3, DeleteFrac: 0.15,
+			ConditionFrac: 0.3, PriorityDensity: 0.05, ObservableFrac: 0.2},
+		{Seed: 12, Rules: 32, Tables: 6, Acyclic: true, WriteFanout: 2,
+			UpdateFrac: 0.4, ConditionFrac: 0.2, PriorityDensity: 0.1},
+		{Seed: 13, Rules: 16, Tables: 4, UpdateFrac: 0.5, DeleteFrac: 0.2,
+			TransRefFrac: 0.3, ObservableFrac: 0.4},
+	} {
+		g, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestParallelMatrixInvariant(t *testing.T) {
+	for _, g := range metamorphicWorkloads(t) {
+		base := New(g.Set, nil).CommutativityMatrix()
+		for _, workers := range []int{2, 8} {
+			got := New(g.Set, nil).SetParallelism(workers).CommutativityMatrix()
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("workers=%d: commutativity matrix differs from sequential", workers)
+			}
+		}
+	}
+}
+
+func TestParallelConfluenceInvariant(t *testing.T) {
+	for _, g := range metamorphicWorkloads(t) {
+		base := New(g.Set, nil).Confluence()
+		for _, workers := range []int{2, 8} {
+			got := New(g.Set, nil).SetParallelism(workers).Confluence()
+			if got.Guaranteed != base.Guaranteed ||
+				got.RequirementHolds != base.RequirementHolds ||
+				got.PairsChecked != base.PairsChecked {
+				t.Errorf("workers=%d: confluence verdict differs: %+v vs %+v", workers, got, base)
+			}
+			// Violations must match exactly, including their order: the
+			// parallel sweep collects them in pair order.
+			if !reflect.DeepEqual(got.Violations, base.Violations) {
+				t.Errorf("workers=%d: violations differ (%d vs %d)",
+					workers, len(got.Violations), len(base.Violations))
+			}
+		}
+	}
+}
+
+func TestParallelSigInvariant(t *testing.T) {
+	for _, g := range metamorphicWorkloads(t) {
+		tables := []string{"t0", "t1"}
+		base := New(g.Set, nil).PartialConfluence(tables)
+		for _, workers := range []int{2, 8} {
+			got := New(g.Set, nil).SetParallelism(workers).PartialConfluence(tables)
+			if !reflect.DeepEqual(got.SigNames(), base.SigNames()) {
+				t.Errorf("workers=%d: Sig differs: %v vs %v", workers, got.SigNames(), base.SigNames())
+			}
+			if got.Guaranteed() != base.Guaranteed() {
+				t.Errorf("workers=%d: partial-confluence verdict differs", workers)
+			}
+		}
+	}
+}
+
+func TestParallelObservableInvariant(t *testing.T) {
+	for _, g := range metamorphicWorkloads(t) {
+		base := New(g.Set, nil).ObservableDeterminism()
+		for _, workers := range []int{2, 8} {
+			got := New(g.Set, nil).SetParallelism(workers).ObservableDeterminism()
+			if got.Guaranteed() != base.Guaranteed() {
+				t.Errorf("workers=%d: observable-determinism verdict differs", workers)
+			}
+			if !reflect.DeepEqual(got.ObservableRules, base.ObservableRules) {
+				t.Errorf("workers=%d: observable rules differ", workers)
+			}
+			if !reflect.DeepEqual(got.Violations(), base.Violations()) {
+				t.Errorf("workers=%d: observable violations differ", workers)
+			}
+		}
+	}
+}
+
+// TestParallelReportStable renders the full report at several worker
+// counts: the rendering exercises every pass end to end, and a stable
+// report is what the CLI's -parallel flag ultimately promises.
+func TestParallelReportStable(t *testing.T) {
+	for i, g := range metamorphicWorkloads(t) {
+		render := func(workers int) string {
+			a := New(g.Set, nil).SetParallelism(workers)
+			return fmt.Sprintf("%s%s%s",
+				ReportTermination(a.Termination()),
+				ReportConfluence(a.Confluence()),
+				ReportObservable(a.ObservableDeterminism()))
+		}
+		base := render(1)
+		for _, workers := range []int{2, 8} {
+			if got := render(workers); got != base {
+				t.Errorf("workload %d workers=%d: report differs from sequential", i, workers)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"activerules/internal/par"
 	"activerules/internal/rules"
 )
 
@@ -57,13 +58,46 @@ func (a *Analyzer) Sig(tables []string) []*rules.Rule {
 			}
 		}
 	}
+	rs := a.set.Rules()
 	for changed := true; changed; {
 		changed = false
-		for _, r := range a.set.Rules() {
+		if a.workers() > 1 {
+			// Round-synchronous parallel expansion: every non-member is
+			// tested concurrently against a snapshot of the current
+			// membership, and the joins are applied between rounds. The
+			// closure is monotone, so its least fixpoint — the returned
+			// set — is identical to the legacy in-round propagation
+			// below; only the number of rounds differs.
+			snapshot := append([]bool(nil), in...)
+			joined := make([]bool, n)
+			par.ForEach(a.workers(), len(rs), func(i int) {
+				r := rs[i]
+				if snapshot[r.Index()] {
+					return
+				}
+				for _, r2 := range rs {
+					if !snapshot[r2.Index()] {
+						continue
+					}
+					if ok, _ := a.Commute(r, r2); !ok {
+						joined[r.Index()] = true
+						return
+					}
+				}
+			})
+			for i, j := range joined {
+				if j && !in[i] {
+					in[i] = true
+					changed = true
+				}
+			}
+			continue
+		}
+		for _, r := range rs {
 			if in[r.Index()] {
 				continue
 			}
-			for _, r2 := range a.set.Rules() {
+			for _, r2 := range rs {
 				if !in[r2.Index()] {
 					continue
 				}

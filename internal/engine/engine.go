@@ -12,6 +12,7 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -577,6 +578,26 @@ func (e *Engine) StateFingerprint() string {
 		out = append(out, nf[:]...)
 	}
 	return string(out)
+}
+
+// StateHash returns a sha256 digest of exactly the material of
+// StateFingerprint — the database fingerprint plus each rule's pending
+// net-effect fingerprint — without materializing the intermediate
+// string. The execution-graph explorers use it as a fixed-size memo key:
+// the parallel explorer additionally shards its memo table by the hash's
+// top bits, so the digest doubles as the shard selector.
+func (e *Engine) StateHash() [32]byte {
+	h := sha256.New()
+	fp := e.db.Fingerprint()
+	h.Write(fp[:])
+	for _, r := range e.set.Rules() {
+		nf := e.pendingNet(r).TableFingerprint(r.Table)
+		h.Write([]byte{'|'})
+		h.Write(nf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // TRStateFingerprint identifies the state exactly as the paper's Section

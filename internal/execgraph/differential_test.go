@@ -1,0 +1,332 @@
+package execgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"activerules/internal/engine"
+	"activerules/internal/rules"
+	"activerules/internal/storage"
+	"activerules/internal/workload"
+)
+
+// workloadEngine builds a ready-to-explore engine from a generated
+// workload: seeded database, user transition executed, assertion point
+// not yet begun (the explorers do that on their internal clone).
+func workloadEngine(t *testing.T, cfg workload.Config, rows, ops int) (*engine.Engine, *rules.Set) {
+	t.Helper()
+	g, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", cfg.Seed, err)
+	}
+	db := workload.SeedDatabase(g.Schema, rows)
+	e := engine.New(g.Set, db, engine.Options{})
+	script := workload.UserScript(g.Schema, rand.New(rand.NewSource(cfg.Seed+1)), ops)
+	if _, err := e.ExecUser(script); err != nil {
+		t.Fatalf("seed %d: user script: %v", cfg.Seed, err)
+	}
+	return e, g.Set
+}
+
+// compareResults asserts that two explorations agree on every
+// schedule-independent field. Witnesses are deliberately excluded: the
+// sequential explorer keeps the first DFS path, the parallel one the
+// shortlex-least path; witness validity is checked separately by replay.
+func compareResults(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	if seq.BoundExceeded || par.BoundExceeded {
+		// A bounded exploration is incomplete: the explored subset is
+		// order-dependent, so only the inconclusive verdict must agree.
+		if seq.BoundExceeded != par.BoundExceeded {
+			t.Errorf("%s: BoundExceeded: seq=%v par=%v", label, seq.BoundExceeded, par.BoundExceeded)
+		}
+		return
+	}
+	if seq.StatesExplored != par.StatesExplored {
+		t.Errorf("%s: StatesExplored: seq=%d par=%d", label, seq.StatesExplored, par.StatesExplored)
+	}
+	if seq.Branching != par.Branching {
+		t.Errorf("%s: Branching: seq=%v par=%v", label, seq.Branching, par.Branching)
+	}
+	if seq.CycleDetected != par.CycleDetected {
+		t.Errorf("%s: CycleDetected: seq=%v par=%v", label, seq.CycleDetected, par.CycleDetected)
+	}
+	if seq.AnyRollback != par.AnyRollback {
+		t.Errorf("%s: AnyRollback: seq=%v par=%v", label, seq.AnyRollback, par.AnyRollback)
+	}
+	if seq.MaxEligible != par.MaxEligible {
+		t.Errorf("%s: MaxEligible: seq=%d par=%d", label, seq.MaxEligible, par.MaxEligible)
+	}
+	if seq.Terminates() != par.Terminates() {
+		t.Errorf("%s: Terminates: seq=%v par=%v", label, seq.Terminates(), par.Terminates())
+	}
+	if seq.Confluent() != par.Confluent() {
+		t.Errorf("%s: Confluent: seq=%v par=%v", label, seq.Confluent(), par.Confluent())
+	}
+	sf, pf := seq.FinalFingerprints(), par.FinalFingerprints()
+	if len(sf) != len(pf) {
+		t.Errorf("%s: final states: seq=%d par=%d", label, len(sf), len(pf))
+	} else {
+		for i := range sf {
+			if sf[i] != pf[i] {
+				t.Errorf("%s: final fingerprint %d differs", label, i)
+			}
+		}
+	}
+	ss, ps := seq.StreamRenderings(), par.StreamRenderings()
+	if len(ss) != len(ps) {
+		t.Errorf("%s: streams: seq=%d par=%d", label, len(ss), len(ps))
+	} else {
+		for i := range ss {
+			if ss[i] != ps[i] {
+				t.Errorf("%s: stream %d differs:\nseq: %q\npar: %q", label, i, ss[i], ps[i])
+			}
+		}
+	}
+}
+
+// replayWitness re-executes a witness schedule from the engine's initial
+// state and returns the final database fingerprint it reaches.
+func replayWitness(t *testing.T, e *engine.Engine, set *rules.Set, path []string) [32]byte {
+	t.Helper()
+	run := e.Clone()
+	run.BeginAssert()
+	for _, name := range path {
+		r := set.Rule(name)
+		if r == nil {
+			t.Fatalf("witness names unknown rule %q", name)
+		}
+		if _, _, rolled, err := run.Consider(r); err != nil {
+			t.Fatalf("witness replay: considering %q: %v", name, err)
+		} else if rolled {
+			break
+		}
+	}
+	return run.DB().Fingerprint()
+}
+
+// diffConfigs are the generated workloads the differential and
+// metamorphic suites run on: a spread over triggering topology (acyclic
+// and cyclic), fanout, conditions, priorities, observables, and
+// transition-table references. Seeds vary within each shape.
+func diffConfigs() []workload.Config {
+	var cfgs []workload.Config
+	// Acyclic topologies, unordered rules: guaranteed-finite graphs with
+	// heavy branching (every eligible set is explored in full).
+	for seed := int64(1); seed <= 8; seed++ {
+		cfgs = append(cfgs, workload.Config{
+			Seed: seed, Rules: 7, Tables: 3, Acyclic: true,
+			WriteFanout: 2, UpdateFrac: 0.4, DeleteFrac: 0.1,
+			ConditionFrac: 0.2, TransRefFrac: 0.4,
+		})
+	}
+	// Acyclic with observables: state identity folds in the stream.
+	for seed := int64(20); seed <= 27; seed++ {
+		cfgs = append(cfgs, workload.Config{
+			Seed: seed, Rules: 6, Tables: 3, Acyclic: true,
+			WriteFanout: 2, UpdateFrac: 0.5, ConditionFrac: 0.2,
+			PriorityDensity: 0.1, ObservableFrac: 0.6, TransRefFrac: 0.3,
+		})
+	}
+	// Cyclic topologies: triggering cycles appear, exercising cycle
+	// detection (path-local and cross-path).
+	for seed := int64(40); seed <= 47; seed++ {
+		cfgs = append(cfgs, workload.Config{
+			Seed: seed, Rules: 5, Tables: 2,
+			WriteFanout: 1, UpdateFrac: 0.6, DeleteFrac: 0.2,
+			ConditionFrac: 0.3, PriorityDensity: 0.1, TransRefFrac: 0.3,
+		})
+	}
+	return cfgs
+}
+
+// TestDifferentialHandwritten runs the differential comparison on
+// handcrafted scenarios covering the shapes random generation rarely
+// hits: genuine state-space cycles, rollback races, untriggering, and
+// unbounded growth.
+func TestDifferentialHandwritten(t *testing.T) {
+	cases := []struct {
+		name    string
+		schema  string
+		rules   string
+		userOps string
+		seed    func(*storage.DB)
+		opts    Options
+	}{
+		{
+			name:   "confluent-diamond",
+			schema: "table t (v int)\ntable a (v int)\ntable b (v int)",
+			rules: `
+create rule ra on t when inserted then insert into a select v from inserted
+create rule rb on t when inserted then insert into b select v from inserted
+`,
+			userOps: "insert into t values (1)",
+		},
+		{
+			name:   "nonconfluent-race",
+			schema: "table t (v int)\ntable trig (x int)",
+			rules: `
+create rule ra on trig when inserted then update t set v = 1
+create rule rb on trig when inserted then update t set v = 2
+`,
+			userOps: "insert into trig values (0)",
+			seed:    func(db *storage.DB) { db.MustInsert("t", storage.IntV(0)) },
+		},
+		{
+			name:   "flip-cycle",
+			schema: "table t (v int)",
+			rules: `
+create rule flip on t when updated(v) then update t set v = 1 - v
+`,
+			userOps: "update t set v = 1",
+			seed:    func(db *storage.DB) { db.MustInsert("t", storage.IntV(0)) },
+			opts:    Options{MaxStates: 5000, MaxDepth: 500},
+		},
+		{
+			name:   "rollback-race",
+			schema: "table t (v int)\ntable u (v int)",
+			rules: `
+create rule guard on t when inserted then rollback
+create rule work on t when inserted then delete from t; insert into u values (1)
+`,
+			userOps: "insert into t values (1)",
+			opts:    Options{TrackObservables: true},
+		},
+		{
+			name:   "untriggering",
+			schema: "table t (v int)\ntable log (v int)",
+			rules: `
+create rule sweep on t when inserted then delete from t precedes keep
+create rule keep on t when inserted then insert into log select v from inserted
+`,
+			userOps: "insert into t values (1)",
+		},
+		{
+			name:   "observable-race",
+			schema: "table t (v int)",
+			rules: `
+create rule ra on t when inserted then select v from t where v >= 0
+create rule rb on t when inserted then update t set v = v + 10
+`,
+			userOps: "insert into t values (1)",
+			opts:    Options{TrackObservables: true},
+		},
+		{
+			name:   "growing-bound",
+			schema: "table t (v int)",
+			rules: `
+create rule r on t when inserted then insert into t values (1)
+`,
+			userOps: "insert into t values (0)",
+			opts:    Options{MaxStates: 200, MaxDepth: 100},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := prep(t, tc.schema, tc.rules, tc.userOps, tc.seed)
+			seq, err := Explore(e, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			popts := tc.opts
+			popts.Parallelism = 4
+			par, err := ExploreParallel(e, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, tc.name, seq, par)
+		})
+	}
+}
+
+// TestDifferentialGeneratedWorkloads is the core differential harness:
+// on every generated workload, Explore and ExploreParallel must agree on
+// every schedule-independent Result field, and the parallel witnesses
+// must replay to their fingerprints.
+func TestDifferentialGeneratedWorkloads(t *testing.T) {
+	completed := 0
+	for _, cfg := range diffConfigs() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("seed%d", cfg.Seed), func(t *testing.T) {
+			e, set := workloadEngine(t, cfg, 3, 6)
+			opts := Options{TrackObservables: true, MaxStates: 1500}
+			seq, err := Explore(e, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			popts := opts
+			popts.Parallelism = 4
+			par, err := ExploreParallel(e, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, fmt.Sprintf("seed %d", cfg.Seed), seq, par)
+			if !seq.BoundExceeded {
+				completed++
+				for fp, path := range par.Witnesses {
+					if got := replayWitness(t, e, set, path); got != fp {
+						t.Errorf("seed %d: witness %v replays to a different final state", cfg.Seed, path)
+					}
+				}
+			}
+		})
+	}
+	if completed < 12 {
+		t.Errorf("only %d workloads completed in-bounds; the differential corpus is too thin", completed)
+	}
+}
+
+// TestDifferentialNoObservables covers the untracked-stream mode, where
+// state identity is the bare (D, TR) fingerprint.
+func TestDifferentialNoObservables(t *testing.T) {
+	for _, cfg := range diffConfigs()[:8] {
+		e, _ := workloadEngine(t, cfg, 3, 6)
+		seq, err := Explore(e, Options{MaxStates: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ExploreParallel(e, Options{MaxStates: 1500, Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, fmt.Sprintf("seed %d", cfg.Seed), seq, par)
+	}
+}
+
+// TestParallelWitnessStability pins the determinism guarantee: repeated
+// parallel explorations — whose worker interleavings differ — must
+// produce byte-identical witnesses, because witnesses are re-derived
+// from the explored graph as shortlex-least schedules.
+func TestParallelWitnessStability(t *testing.T) {
+	cfg := diffConfigs()[4] // 127 states, 17 distinct final fingerprints
+	e, _ := workloadEngine(t, cfg, 3, 6)
+	base, err := ExploreParallel(e, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		got, err := ExploreParallel(e, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Witnesses) != len(base.Witnesses) {
+			t.Fatalf("round %d: %d witnesses, want %d", round, len(got.Witnesses), len(base.Witnesses))
+		}
+		for fp, want := range base.Witnesses {
+			path, ok := got.Witnesses[fp]
+			if !ok {
+				t.Fatalf("round %d: missing witness for a base fingerprint", round)
+			}
+			if len(path) != len(want) {
+				t.Fatalf("round %d: witness %v, want %v", round, path, want)
+			}
+			for i := range want {
+				if path[i] != want[i] {
+					t.Fatalf("round %d: witness %v, want %v", round, path, want)
+				}
+			}
+		}
+	}
+}

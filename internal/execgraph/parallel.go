@@ -1,0 +1,531 @@
+// Parallel frontier-based exploration. ExploreParallel expands states
+// concurrently with a worker pool against a sharded claim-based memo
+// table and merges the per-worker partial results deterministically:
+// every field of Result except Witnesses is a function of the explored
+// state graph alone (not of worker scheduling), and Witnesses are
+// re-derived from the recorded edge set as shortest-then-lexicographic-
+// least schedules, so a completed exploration is bit-identical from run
+// to run and to the sequential explorer's verdicts.
+//
+// Cycle detection is adapted to concurrent visitation in two layers:
+// each task carries a path-local ancestor chain (the moral equivalent of
+// the sequential explorer's onstack set), and — because two workers can
+// claim the states of one cycle concurrently, each seeing the other's
+// half only as "already claimed" — the merged edge graph is re-checked
+// for cycles after the frontier drains. The post-pass is authoritative;
+// the ancestor chain only flags cycles early.
+package execgraph
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"activerules/internal/engine"
+	"activerules/internal/par"
+	"activerules/internal/rules"
+	"activerules/internal/storage"
+)
+
+// pkey is a memoization key: the sha256 state hash, with the observable
+// history folded in when streams are tracked.
+type pkey = [32]byte
+
+// shardedMemo is the claim table: N shards, each a mutex-guarded set of
+// visited state keys. A state belongs to the shard selected by the top
+// bits of its hash, so concurrent claims of unrelated states almost
+// never contend on the same lock.
+type shardedMemo struct {
+	shift uint
+	shards []memoShard
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[pkey]struct{}
+	// pad shards apart so neighboring locks do not share a cache line.
+	_ [40]byte
+}
+
+func newShardedMemo(n int) *shardedMemo {
+	if n <= 0 {
+		n = 64
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	n = 1 << uint(bits.Len(uint(n-1))) // round up to a power of two
+	m := &shardedMemo{shift: uint(32 - bits.TrailingZeros(uint(n))), shards: make([]memoShard, n)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[pkey]struct{})
+	}
+	return m
+}
+
+// claim inserts the key and reports whether it was absent — the caller
+// then owns expanding that state; every later arrival sees a duplicate.
+func (s *shardedMemo) claim(k pkey) bool {
+	sh := &s.shards[binary.BigEndian.Uint32(k[:4])>>s.shift]
+	sh.mu.Lock()
+	_, dup := sh.m[k]
+	if !dup {
+		sh.m[k] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// pnode is one entry of a task's path-local ancestor chain. Chains share
+// structure (each child prepends one node), so spawning a task is O(1)
+// and membership checks are O(path length).
+type pnode struct {
+	key    pkey
+	parent *pnode
+}
+
+func (n *pnode) has(k pkey) bool {
+	for c := n; c != nil; c = c.parent {
+		if c.key == k {
+			return true
+		}
+	}
+	return false
+}
+
+// onode is one link of a task's observable-history chain, materialized
+// only when a final state records its stream.
+type onode struct {
+	events []engine.ObservableEvent
+	parent *onode
+}
+
+func (o *onode) materialize() []engine.ObservableEvent {
+	var chain []*onode
+	for c := o; c != nil; c = c.parent {
+		chain = append(chain, c)
+	}
+	var out []engine.ObservableEvent
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i].events...)
+	}
+	return out
+}
+
+// ptask is one unit of frontier work: consider rule from the state held
+// by eng (a parent engine the task clones, never mutates), then claim
+// and possibly expand the resulting state. The root task has rule nil
+// and eng already positioned at the initial state.
+type ptask struct {
+	parent  *pnode
+	rule    *rules.Rule
+	eng     *engine.Engine
+	obs     *onode
+	obsHash pkey
+	hasObs  bool
+	depth   int
+}
+
+// pedge is one recorded transition of the state graph, feeding the
+// witness reconstruction and the cross-path cycle confirmation.
+type pedge struct {
+	from pkey
+	rule string
+	to   pkey
+}
+
+// pfinal is a recorded final state.
+type pfinal struct {
+	fp     [32]byte
+	db     *storage.DB
+	stream string
+	events []engine.ObservableEvent
+}
+
+// pacc accumulates one worker's partial results without locking; the
+// slices and maps are merged after the frontier drains.
+type pacc struct {
+	edges       []pedge
+	finals      map[pkey]*pfinal
+	branching   bool
+	anyRollback bool
+	cycle       bool
+	maxEligible int
+}
+
+type pexplorer struct {
+	opts    Options
+	ctx     context.Context
+	memo    *shardedMemo
+	states  atomic.Int64
+	bound   atomic.Bool
+	failed  atomic.Bool
+	rootKey pkey
+
+	mu  sync.Mutex
+	err error
+}
+
+// ExploreParallel is Explore with a worker pool: states are expanded
+// concurrently (Options.Parallelism workers, default one per CPU)
+// against a sharded memo table (Options.MemoShards). On a completed
+// exploration the Result is bit-identical to the sequential explorer's
+// in every field except Witnesses, which are the shortest-then-
+// lexicographically-least schedules instead of the first path DFS
+// happened to walk — a deterministic choice, so parallel output is
+// run-to-run stable. When a bound is exceeded the exploration is
+// inconclusive (exactly as with Explore) and the partial counts may
+// differ between runs.
+func ExploreParallel(e *engine.Engine, opts Options) (*Result, error) {
+	return ExploreParallelContext(context.Background(), e, opts)
+}
+
+// ExploreParallelContext is ExploreParallel with cancellation: ctx is
+// checked at every task, and on cancellation the pool drains and ctx's
+// error is returned (wrapped, so errors.Is works) with no result.
+func ExploreParallelContext(ctx context.Context, e *engine.Engine, opts Options) (*Result, error) {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 200000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 10000
+	}
+	workers := par.Workers(opts.Parallelism)
+	x := &pexplorer{opts: opts, ctx: ctx, memo: newShardedMemo(opts.MemoShards)}
+	accs := make([]pacc, workers)
+	for i := range accs {
+		accs[i].finals = make(map[pkey]*pfinal)
+	}
+	root := e.Clone()
+	root.BeginAssert()
+	par.RunQueue(workers, []ptask{{eng: root}}, func(worker int, t ptask, q *par.Queue[ptask]) {
+		x.process(&accs[worker], t, q)
+	})
+	if x.err != nil {
+		return nil, x.err
+	}
+	return x.merge(accs), nil
+}
+
+// fail records the first error and drains the pool.
+func (x *pexplorer) fail(err error, q *par.Queue[ptask]) {
+	x.mu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.mu.Unlock()
+	x.failed.Store(true)
+	q.Stop()
+}
+
+// process handles one task: derive the child state, record its edge,
+// then claim and expand it. The checks mirror the sequential explorer's
+// visit (rollback, depth bound, cycle, memo, state bound, final) so
+// that in-bounds explorations produce identical verdicts.
+func (x *pexplorer) process(acc *pacc, t ptask, q *par.Queue[ptask]) {
+	if x.failed.Load() {
+		return
+	}
+	if err := x.ctx.Err(); err != nil {
+		x.fail(fmt.Errorf("execgraph: exploration cancelled: %w", err), q)
+		return
+	}
+	eng := t.eng
+	obs, obsHash, hasObs := t.obs, t.obsHash, t.hasObs
+	rolled := false
+	if t.rule != nil {
+		fork := eng.Clone()
+		_, events, r, err := fork.Consider(t.rule)
+		if err != nil {
+			x.fail(fmt.Errorf("execgraph: considering %q: %w", t.rule.Name, err), q)
+			return
+		}
+		rolled = r
+		if x.opts.TrackObservables && len(events) > 0 {
+			obs = &onode{events: events, parent: obs}
+			obsHash = foldObsHash(obsHash, hasObs, events)
+			hasObs = true
+		}
+		eng = fork
+	}
+	key := stateKey(eng, obsHash, hasObs)
+	if t.parent != nil {
+		acc.edges = append(acc.edges, pedge{from: t.parent.key, rule: t.rule.Name, to: key})
+	} else {
+		x.rootKey = key
+	}
+	if rolled {
+		// A rollback terminates rule processing immediately: the rolled
+		// state is final regardless of depth, and is never expanded.
+		acc.anyRollback = true
+		x.recordFinal(acc, key, eng, obs)
+		return
+	}
+	if t.parent != nil && t.parent.has(key) {
+		// Path-local ancestor hit: this edge closes a cycle along the
+		// current path. The state itself was claimed by the ancestor, so
+		// there is nothing further to expand here.
+		acc.cycle = true
+		return
+	}
+	if t.depth > x.opts.MaxDepth {
+		x.bound.Store(true)
+		return
+	}
+	if !x.memo.claim(key) {
+		return
+	}
+	if x.states.Add(1) > int64(x.opts.MaxStates) {
+		x.bound.Store(true)
+		return
+	}
+	eligible := eng.EligibleRules()
+	if len(eligible) == 0 {
+		x.recordFinal(acc, key, eng, obs)
+		return
+	}
+	if len(eligible) > 1 {
+		acc.branching = true
+	}
+	if len(eligible) > acc.maxEligible {
+		acc.maxEligible = len(eligible)
+	}
+	node := &pnode{key: key, parent: t.parent}
+	for _, r := range eligible {
+		q.Push(ptask{parent: node, rule: r, eng: eng, obs: obs, obsHash: obsHash, hasObs: hasObs, depth: t.depth + 1})
+	}
+}
+
+func (x *pexplorer) recordFinal(acc *pacc, key pkey, eng *engine.Engine, obs *onode) {
+	if _, ok := acc.finals[key]; ok {
+		return
+	}
+	f := &pfinal{fp: eng.DB().Fingerprint(), db: eng.DB().Clone()}
+	if x.opts.TrackObservables {
+		f.events = obs.materialize()
+		f.stream = renderStream(f.events)
+	}
+	acc.finals[key] = f
+}
+
+// stateKey derives the memo key from the engine's state hash, folding in
+// the observable-history hash when streams are tracked (so paths with
+// different pasts are both explored, exactly as in the sequential key).
+func stateKey(e *engine.Engine, obsHash pkey, hasObs bool) pkey {
+	sh := e.StateHash()
+	if !hasObs {
+		return sh
+	}
+	h := sha256.New()
+	h.Write(sh[:])
+	h.Write([]byte{'#'})
+	h.Write(obsHash[:])
+	var out pkey
+	h.Sum(out[:0])
+	return out
+}
+
+// foldObsHash extends the rolling observable-history hash with newly
+// produced events, one chain link per event. Per-event chaining makes
+// the hash a function of the event sequence alone — not of how the
+// events were batched into considerations — so it induces the same
+// state equivalence as the sequential explorer's whole-stream hash
+// while costing O(new events) per step instead of O(history).
+func foldObsHash(prev pkey, has bool, events []engine.ObservableEvent) pkey {
+	for _, ev := range events {
+		h := sha256.New()
+		if has {
+			h.Write(prev[:])
+		}
+		h.Write([]byte(ev.String()))
+		h.Write([]byte{'\n'})
+		h.Sum(prev[:0])
+		has = true
+	}
+	return prev
+}
+
+// merge combines the per-worker accumulators into the final Result and
+// runs the two deterministic post-passes over the recorded state graph:
+// cross-path cycle confirmation and witness reconstruction.
+func (x *pexplorer) merge(accs []pacc) *Result {
+	res := &Result{
+		StatesExplored: int(x.states.Load()),
+		FinalDBs:       make(map[[32]byte]*storage.DB),
+		Streams:        make(map[string][]engine.ObservableEvent),
+		Witnesses:      make(map[[32]byte][]string),
+		BoundExceeded:  x.bound.Load(),
+	}
+	if res.StatesExplored > x.opts.MaxStates {
+		res.StatesExplored = x.opts.MaxStates
+	}
+	finals := make(map[pkey]*pfinal)
+	nedges := 0
+	for i := range accs {
+		nedges += len(accs[i].edges)
+	}
+	edges := make([]pedge, 0, nedges)
+	cycle := false
+	for i := range accs {
+		a := &accs[i]
+		edges = append(edges, a.edges...)
+		res.Branching = res.Branching || a.branching
+		res.AnyRollback = res.AnyRollback || a.anyRollback
+		cycle = cycle || a.cycle
+		if a.maxEligible > res.MaxEligible {
+			res.MaxEligible = a.maxEligible
+		}
+		for k, f := range a.finals {
+			if _, ok := finals[k]; !ok {
+				finals[k] = f
+			}
+		}
+	}
+	adj := make(map[pkey][]pedge)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for k := range adj {
+		es := adj[k]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].rule != es[j].rule {
+				return es[i].rule < es[j].rule
+			}
+			return string(es[i].to[:]) < string(es[j].to[:])
+		})
+	}
+	if !cycle {
+		cycle = hasCycle(adj, x.rootKey)
+	}
+	res.CycleDetected = cycle
+	best := bestPaths(adj, x.rootKey)
+	for k, f := range finals {
+		if _, ok := res.FinalDBs[f.fp]; !ok {
+			res.FinalDBs[f.fp] = f.db
+		}
+		if x.opts.TrackObservables {
+			if _, ok := res.Streams[f.stream]; !ok {
+				res.Streams[f.stream] = f.events
+			}
+		}
+		p, reachable := best[k]
+		if !reachable {
+			continue // only possible when the exploration was cut short
+		}
+		if cur, ok := res.Witnesses[f.fp]; !ok || shortlexLess(p, cur) {
+			res.Witnesses[f.fp] = p
+		}
+	}
+	return res
+}
+
+// hasCycle reports whether the recorded state graph contains a cycle
+// reachable from root — the cross-path confirmation: two workers can
+// claim the states of one cycle concurrently, so neither sees the other
+// on its ancestor chain, but every closing edge was recorded and a
+// plain iterative DFS finds the back edge here.
+func hasCycle(adj map[pkey][]pedge, root pkey) bool {
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := make(map[pkey]int, len(adj))
+	type frame struct {
+		key pkey
+		ei  int
+	}
+	stack := []frame{{key: root}}
+	color[root] = gray
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		es := adj[f.key]
+		advanced := false
+		for f.ei < len(es) {
+			w := es[f.ei].to
+			f.ei++
+			switch color[w] {
+			case gray:
+				return true
+			case black:
+			default:
+				color[w] = gray
+				stack = append(stack, frame{key: w})
+				advanced = true
+			}
+			if advanced {
+				break
+			}
+		}
+		if !advanced {
+			color[f.key] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}
+
+// bestPaths returns, for every node reachable from root in the recorded
+// state graph, the shortest-then-lexicographically-least schedule (rule
+// name sequence) reaching it. The choice is a function of the explored
+// graph alone — never of worker scheduling — which is what makes the
+// parallel explorer's Witnesses run-to-run stable.
+func bestPaths(adj map[pkey][]pedge, root pkey) map[pkey][]string {
+	dist := map[pkey]int{root: 0}
+	level := []pkey{root}
+	var levels [][]pkey
+	for len(level) > 0 {
+		levels = append(levels, level)
+		var next []pkey
+		for _, u := range level {
+			for _, e := range adj[u] {
+				if _, seen := dist[e.to]; !seen {
+					dist[e.to] = dist[u] + 1
+					next = append(next, e.to)
+				}
+			}
+		}
+		level = next
+	}
+	best := map[pkey][]string{root: {}}
+	for d := 0; d < len(levels); d++ {
+		for _, u := range levels[d] {
+			pu := best[u]
+			for _, e := range adj[u] {
+				if dist[e.to] != d+1 {
+					continue
+				}
+				cand := append(append(make([]string, 0, len(pu)+1), pu...), e.rule)
+				if cur, ok := best[e.to]; !ok || lexLess(cand, cur) {
+					best[e.to] = cand
+				}
+			}
+		}
+	}
+	return best
+}
+
+// lexLess compares equal-length schedules elementwise.
+func lexLess(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// shortlexLess orders schedules by length first, then lexicographically
+// — the total order used to pick one witness per final fingerprint.
+func shortlexLess(a, b []string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return lexLess(a, b)
+}

@@ -1,0 +1,177 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach(1, 5) ran %d calls, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach(1, 5) order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	ForEach(8, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(8, 0, func(int) { called = true })
+	if called {
+		t.Error("ForEach with n=0 invoked fn")
+	}
+}
+
+func TestForEachMoreWorkersThanItems(t *testing.T) {
+	var count atomic.Int32
+	ForEach(64, 3, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("ran %d calls, want 3", count.Load())
+	}
+}
+
+// TestRunQueueDrains expands a complete binary tree of tasks and checks
+// that every node is processed exactly once at several worker counts.
+func TestRunQueueDrains(t *testing.T) {
+	const depth = 10 // 2^11 - 1 nodes
+	for _, workers := range []int{1, 2, 8} {
+		var count atomic.Int64
+		RunQueue(workers, []int{0}, func(_ int, d int, q *Queue[int]) {
+			count.Add(1)
+			if d < depth {
+				q.Push(d + 1)
+				q.Push(d + 1)
+			}
+		})
+		want := int64(1<<(depth+1)) - 1
+		if count.Load() != want {
+			t.Errorf("workers=%d: processed %d tasks, want %d", workers, count.Load(), want)
+		}
+	}
+}
+
+// TestRunQueueSequentialLIFO pins the single-worker contract: everything
+// runs on the calling goroutine, worker index 0, strict LIFO order.
+func TestRunQueueSequentialLIFO(t *testing.T) {
+	var order []string
+	RunQueue(1, []string{"a", "b"}, func(worker int, s string, q *Queue[string]) {
+		if worker != 0 {
+			t.Errorf("sequential worker index = %d, want 0", worker)
+		}
+		order = append(order, s)
+		if s == "b" {
+			q.Push("b1")
+			q.Push("b2")
+		}
+	})
+	want := []string{"b", "b2", "b1", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunQueueWorkerIndexInRange(t *testing.T) {
+	const workers = 4
+	var bad atomic.Int32
+	RunQueue(workers, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(w int, d int, q *Queue[int]) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+		if d < 64 {
+			q.Push(d + 8)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d tasks saw an out-of-range worker index", bad.Load())
+	}
+}
+
+// TestRunQueueStop checks that Stop abandons queued work: a tree that
+// would expand to millions of tasks finishes promptly once a worker
+// stops the queue.
+func TestRunQueueStop(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int64
+		RunQueue(workers, []int{0}, func(_ int, d int, q *Queue[int]) {
+			if count.Add(1) >= 100 {
+				q.Stop()
+				return
+			}
+			if d < 40 {
+				q.Push(d + 1)
+				q.Push(d + 1)
+			}
+		})
+		// In-flight tasks may still finish after Stop; the bound is the
+		// stop threshold plus one per worker.
+		if c := count.Load(); c > 100+int64(workers) {
+			t.Errorf("workers=%d: processed %d tasks after Stop, want <= %d", workers, c, 100+workers)
+		}
+	}
+}
+
+// TestRunQueueConcurrentPushers stresses the drain condition: many
+// workers pushing and finishing simultaneously must not lose a wakeup
+// (a lost wakeup shows up as a hang, caught by the test timeout).
+func TestRunQueueConcurrentPushers(t *testing.T) {
+	var count atomic.Int64
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	RunQueue(8, []int{0, 1000000, 2000000, 3000000}, func(_ int, d int, q *Queue[int]) {
+		count.Add(1)
+		mu.Lock()
+		seen[d] = true
+		mu.Unlock()
+		if d%1000000 < 500 {
+			q.Push(d + 1)
+		}
+	})
+	if count.Load() != 4*501 {
+		t.Errorf("processed %d tasks, want %d", count.Load(), 4*501)
+	}
+	for base := 0; base < 4000000; base += 1000000 {
+		for i := 0; i <= 500; i++ {
+			if !seen[base+i] {
+				t.Fatalf("task %d never processed", base+i)
+			}
+		}
+	}
+}
