@@ -103,6 +103,19 @@ type (
 	IncrementalResult = analysis.IncrementalResult
 	// RepairPlan is the outcome of the automated Section 6.4 loop.
 	RepairPlan = analysis.RepairPlan
+	// PrunedEdge is a triggering edge removed by condition-aware
+	// refinement, with its justification.
+	PrunedEdge = analysis.PrunedEdge
+	// RefinementDischarge is a dead rule discharged by refinement.
+	RefinementDischarge = analysis.RefinementDischarge
+	// CommuteUpgrade is a pair upgraded to "commutes" by refinement.
+	CommuteUpgrade = analysis.CommuteUpgrade
+	// LintResult is the sorted diagnostics of the rulelint engine.
+	LintResult = analysis.LintResult
+	// Diagnostic is one lint finding with a stable RL0xx code.
+	Diagnostic = analysis.Diagnostic
+	// Severity classifies a lint diagnostic.
+	Severity = analysis.Severity
 
 	// DB is an in-memory database instance.
 	DB = storage.DB
@@ -168,6 +181,22 @@ var (
 	ErrInjectedFault = faultinject.ErrInjected
 )
 
+// Lint severities, re-exported.
+const (
+	SevInfo    = analysis.SevInfo
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+)
+
+// RenderLintText renders lint diagnostics in compiler style; file labels
+// the rules source.
+func RenderLintText(lr *LintResult, file string) string { return analysis.RenderLintText(lr, file) }
+
+// RenderLintJSON renders lint diagnostics as stable indented JSON.
+func RenderLintJSON(lr *LintResult, file string) ([]byte, error) {
+	return analysis.RenderLintJSON(lr, file)
+}
+
 // NewFaultInjector returns an armed deterministic fault injector; pass
 // its Wrap method as EngineOptions.WrapMutator.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultinject.New(cfg) }
@@ -211,6 +240,10 @@ type System struct {
 	// analyzer the system constructs; 0 (never set) means the
 	// sequential legacy path.
 	analysisPar int
+
+	// analysisRefine enables condition-aware refinement on every
+	// analyzer the system constructs.
+	analysisRefine bool
 }
 
 // SetAnalysisParallelism sets the worker count used by the analyzers
@@ -218,6 +251,13 @@ type System struct {
 // worker per CPU, 1 (the default) the sequential legacy path, n > 1
 // exactly n workers. Verdicts are identical at every parallelism.
 func (s *System) SetAnalysisParallelism(n int) { s.analysisPar = par.Workers(n) }
+
+// SetAnalysisRefinement enables (or disables) condition-aware refinement
+// — predicate abstraction that prunes statically infeasible triggering
+// edges and noncommutativity conflicts — on every analyzer this system
+// constructs. Off by default: the refined verdicts are strictly no more
+// conservative, but their reports carry extra sections.
+func (s *System) SetAnalysisRefinement(on bool) { s.analysisRefine = on }
 
 // Load parses a schema definition and a rule definition file and
 // compiles them together.
@@ -288,7 +328,8 @@ func (s *System) WithOrdering(pairs ...[2]string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{schema: s.schema, rules: ns, defs: s.defs, analysisPar: s.analysisPar}, nil
+	return &System{schema: s.schema, rules: ns, defs: s.defs,
+		analysisPar: s.analysisPar, analysisRefine: s.analysisRefine}, nil
 }
 
 // Without returns a new System with the named rules deactivated
@@ -338,7 +379,17 @@ func (s *System) Analyzer(cert *Certification) *Analyzer {
 	if s.analysisPar > 0 {
 		a.SetParallelism(s.analysisPar)
 	}
+	if s.analysisRefine {
+		a.SetRefinement(true)
+	}
 	return a
+}
+
+// Lint runs the rulelint diagnostics engine (dead rules, self-
+// deactivating updates, shadowed priorities, dead-store columns,
+// infeasible cycles) with the given certifications (nil for none).
+func (s *System) Lint(cert *Certification) *LintResult {
+	return s.Analyzer(cert).Lint()
 }
 
 // NewDB returns an empty database over the system's schema.

@@ -27,6 +27,8 @@ const bankRules = "../../testdata/bank/rules.srl"
 const bankCerts = "../../testdata/bank/certs.txt"
 const powerSchema = "../../testdata/powernet/schema.sdl"
 const powerRules = "../../testdata/powernet/rules.srl"
+const lintSchema = "../../testdata/lintdemo/schema.sdl"
+const lintRules = "../../testdata/lintdemo/rules.srl"
 
 func TestGolden(t *testing.T) {
 	cases := []struct {
@@ -45,6 +47,14 @@ func TestGolden(t *testing.T) {
 		{"bank-autorepair", []string{"-schema", bankSchema, "-rules", bankRules, "-autorepair"}, 0},
 		{"powernet-report", []string{"-schema", powerSchema, "-rules", powerRules}, 1},
 		{"powernet-dot", []string{"-schema", powerSchema, "-rules", powerRules, "-dot"}, 0},
+		{"lintdemo-report", []string{"-schema", lintSchema, "-rules", lintRules}, 1},
+		{"lintdemo-refined", []string{"-schema", lintSchema, "-rules", lintRules, "-refine"}, 0},
+		{"lintdemo-refined-json", []string{"-schema", lintSchema, "-rules", lintRules, "-refine", "-json"}, 0},
+		{"lintdemo-refined-dot", []string{"-schema", lintSchema, "-rules", lintRules, "-refine", "-dot"}, 0},
+		{"lintdemo-why-refine", []string{"-schema", lintSchema, "-rules", lintRules, "-refine", "-why", "r_low,r_hi"}, 0},
+		{"lintdemo-lint", []string{"-schema", lintSchema, "-rules", lintRules, "-lint"}, 3},
+		{"lintdemo-lint-json", []string{"-schema", lintSchema, "-rules", lintRules, "-lint", "-json"}, 3},
+		{"bank-lint", []string{"-schema", bankSchema, "-rules", bankRules, "-lint"}, 0},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -86,8 +96,13 @@ func TestGoldenStableAcrossParallelism(t *testing.T) {
 		{"-schema", bankSchema, "-rules", bankRules, "-cert", bankCerts},
 		{"-schema", bankSchema, "-rules", bankRules, "-json"},
 		{"-schema", powerSchema, "-rules", powerRules},
+		{"-schema", lintSchema, "-rules", lintRules, "-refine"},
+		{"-schema", lintSchema, "-rules", lintRules, "-refine", "-json"},
+		{"-schema", lintSchema, "-rules", lintRules, "-lint"},
+		{"-schema", lintSchema, "-rules", lintRules, "-lint", "-json"},
 	}
-	goldens := []string{"bank-report", "bank-report-cert", "bank-json", "powernet-report"}
+	goldens := []string{"bank-report", "bank-report-cert", "bank-json", "powernet-report",
+		"lintdemo-refined", "lintdemo-refined-json", "lintdemo-lint", "lintdemo-lint-json"}
 	for i, args := range cases {
 		want, err := os.ReadFile(filepath.Join("testdata", goldens[i]+".golden"))
 		if err != nil {

@@ -15,6 +15,13 @@
 //	-parallel n     worker count for the pairwise analyses: 0 means one
 //	                worker per CPU, 1 (the default) the sequential path;
 //	                verdicts are identical at every setting
+//	-refine         enable condition-aware refinement: predicate
+//	                abstraction prunes statically infeasible triggering
+//	                edges and noncommutativity conflicts before the
+//	                Section 5/6 analyses
+//	-lint           run the rulelint diagnostics (RL0xx codes) instead of
+//	                the property analyses; combine with -json for
+//	                machine-readable output
 //	-quiet          print only the one-line verdict summary
 //
 // The certification file carries the facts a user has verified in the
@@ -26,8 +33,13 @@
 //	order r1 r2       -- add priority r1 > r2 (Section 6.4, Approach 2)
 //	-- comments and blank lines are ignored
 //
-// Exit status: 0 when every analyzed property is guaranteed, 1 when some
-// property may not hold, 2 on usage or load errors.
+// Exit status:
+//
+//	0  every analyzed property is guaranteed (or -lint found no
+//	   error-severity findings)
+//	1  some analyzed property may not hold
+//	2  usage or load errors
+//	3  -lint found at least one error-severity finding
 package main
 
 import (
@@ -64,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	dot := fs.Bool("dot", false, "print the triggering graph in Graphviz DOT format and exit")
 	user := fs.String("user", "", "restrict user operations, e.g. insert:t,update:t.c,delete:u")
 	parallel := fs.Int("parallel", 1, "analysis worker count (0 = one per CPU, 1 = sequential)")
+	refine := fs.Bool("refine", false, "enable condition-aware refinement (predicate abstraction)")
+	lint := fs.Bool("lint", false, "run the rulelint diagnostics instead of the property analyses")
 	quiet := fs.Bool("quiet", false, "print only the verdict summary")
 	jsonOut := fs.Bool("json", false, "emit the verdicts as JSON")
 	stats := fs.Bool("stats", false, "include rule-set statistics in the report")
@@ -103,6 +117,25 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 
 	sys.SetAnalysisParallelism(*parallel)
+	sys.SetAnalysisRefinement(*refine)
+
+	if *lint {
+		lr := sys.Lint(cert)
+		if *jsonOut {
+			b, err := activerules.RenderLintJSON(lr, *rulesPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "rulecheck:", err)
+				return 2
+			}
+			stdout.Write(b)
+		} else {
+			fmt.Fprint(stdout, activerules.RenderLintText(lr, *rulesPath))
+		}
+		if lr.HasErrors() {
+			return 3
+		}
+		return 0
+	}
 
 	if *dot {
 		fmt.Fprint(stdout, sys.TriggeringGraphDOT(cert))
@@ -183,15 +216,19 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // jsonReport is the machine-readable verdict shape emitted by -json.
 type jsonReport struct {
 	Termination struct {
-		Guaranteed     bool       `json:"guaranteed"`
-		CyclicSCCs     [][]string `json:"cyclic_sccs,omitempty"`
-		AutoDischarged []string   `json:"auto_discharged,omitempty"`
-		UserDischarged []string   `json:"user_discharged,omitempty"`
+		Guaranteed           bool       `json:"guaranteed"`
+		CyclicSCCs           [][]string `json:"cyclic_sccs,omitempty"`
+		AutoDischarged       []string   `json:"auto_discharged,omitempty"`
+		UserDischarged       []string   `json:"user_discharged,omitempty"`
+		Refined              bool       `json:"refined,omitempty"`
+		RefinementDischarged []string   `json:"refinement_discharged,omitempty"`
+		PrunedEdges          []jsonEdge `json:"pruned_edges,omitempty"`
 	} `json:"termination"`
 	Confluence struct {
 		Guaranteed   bool            `json:"guaranteed"`
 		PairsChecked int             `json:"pairs_checked"`
 		Violations   []jsonViolation `json:"violations,omitempty"`
+		Upgrades     []jsonUpgrade   `json:"refined_commuting_pairs,omitempty"`
 	} `json:"confluence"`
 	Observable struct {
 		Guaranteed      bool            `json:"guaranteed"`
@@ -201,6 +238,17 @@ type jsonReport struct {
 	} `json:"observable_determinism"`
 	Partial map[string]bool `json:"partial_confluence,omitempty"`
 	All     bool            `json:"all_guaranteed"`
+}
+
+type jsonEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Why  string `json:"why"`
+}
+
+type jsonUpgrade struct {
+	Pair [2]string `json:"pair"`
+	Why  []string  `json:"why"`
 }
 
 type jsonViolation struct {
@@ -238,9 +286,21 @@ func writeJSON(w io.Writer, rep *activerules.Report) error {
 	}
 	jr.Termination.AutoDischarged = rep.Termination.AutoDischarged
 	jr.Termination.UserDischarged = rep.Termination.UserDischarged
+	jr.Termination.Refined = rep.Termination.Refined
+	for _, d := range rep.Termination.RefinementDischarged {
+		jr.Termination.RefinementDischarged = append(jr.Termination.RefinementDischarged, d.Rule)
+	}
+	for _, pe := range rep.Termination.PrunedEdges {
+		jr.Termination.PrunedEdges = append(jr.Termination.PrunedEdges,
+			jsonEdge{From: pe.From, To: pe.To, Why: pe.Why})
+	}
 	jr.Confluence.Guaranteed = rep.Confluence.Guaranteed
 	jr.Confluence.PairsChecked = rep.Confluence.PairsChecked
 	jr.Confluence.Violations = toJSONViolations(rep.Confluence.Violations)
+	for _, up := range rep.Confluence.Upgrades {
+		jr.Confluence.Upgrades = append(jr.Confluence.Upgrades,
+			jsonUpgrade{Pair: [2]string{up.A, up.B}, Why: up.Why})
+	}
 	jr.Observable.Guaranteed = rep.Observable.Guaranteed()
 	jr.Observable.ObservableRules = rep.Observable.ObservableRules
 	jr.Observable.Sig = rep.Observable.Partial.SigNames()

@@ -24,6 +24,9 @@
 //	                 CPU, 1 (the default) the sequential explorer, n > 1
 //	                 exactly n workers; verdicts are identical at every
 //	                 setting
+//	-lint            run the rulelint preflight before executing; any
+//	                 error-severity finding (e.g. a dead rule) aborts the
+//	                 run with exit status 6
 //
 // Exit status:
 //
@@ -38,6 +41,7 @@
 //	4  a rule's condition or action failed at runtime (the failed
 //	   consideration was rolled back; the database is consistent)
 //	5  the -timeout deadline expired
+//	6  the -lint preflight found an error-severity finding
 package main
 
 import (
@@ -78,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	explore := fs.Bool("explore", false, "model-check all execution orders instead of one run")
 	parallel := fs.Int("parallel", 1, "worker count for -explore (0 = one per CPU, 1 = sequential)")
 	traceFlag := fs.Bool("trace", false, "print each rule-processing step")
+	lint := fs.Bool("lint", false, "run the rulelint preflight; error findings abort with status 6")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,6 +101,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		fmt.Fprintln(stderr, "ruleexec:", err)
 		return 2
+	}
+
+	if *lint {
+		lr := sys.Lint(nil)
+		if lr.HasErrors() {
+			fmt.Fprint(stderr, activerules.RenderLintText(lr, *rulesPath))
+			fmt.Fprintln(stderr, "ruleexec: lint preflight failed; fix the errors or drop -lint")
+			return 6
+		}
 	}
 
 	db := sys.NewDB()

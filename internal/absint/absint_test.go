@@ -1,0 +1,289 @@
+package absint
+
+import (
+	"math"
+	"testing"
+
+	"activerules/internal/schema"
+	"activerules/internal/sqlmini"
+	"activerules/internal/storage"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	b := schema.NewBuilder()
+	b.Table("t",
+		schema.Column{Name: "id", Type: schema.Int},
+		schema.Column{Name: "v", Type: schema.Int},
+		schema.Column{Name: "s", Type: schema.String},
+	)
+	b.Table("u",
+		schema.Column{Name: "id", Type: schema.Int},
+		schema.Column{Name: "v", Type: schema.Int},
+	)
+	sch, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func parseCond(t *testing.T, sch *schema.Schema, src string) sqlmini.Expr {
+	t.Helper()
+	e, err := sqlmini.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	rc := &sqlmini.ResolveContext{Schema: sch, RuleTable: "t"}
+	if err := sqlmini.ResolveExpr(e, rc); err != nil {
+		t.Fatalf("resolve %q: %v", src, err)
+	}
+	return e
+}
+
+func parseStmt(t *testing.T, sch *schema.Schema, src string) sqlmini.Statement {
+	t.Helper()
+	st, err := sqlmini.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	rc := &sqlmini.ResolveContext{Schema: sch, RuleTable: "t"}
+	if err := sqlmini.ResolveStatement(st, rc); err != nil {
+		t.Fatalf("resolve %q: %v", src, err)
+	}
+	return st
+}
+
+func TestAbsLattice(t *testing.T) {
+	five := FromValue(storage.IntV(5))
+	ten := FromValue(storage.IntV(10))
+	if !five.Meet(ten).IsBottom() {
+		t.Errorf("5 ⊓ 10 should be bottom, got %v", five.Meet(ten))
+	}
+	j := five.Join(ten)
+	if j.IsBottom() || j.String() != "[5,10]" {
+		t.Errorf("5 ⊔ 10 = %v, want [5,10]", j)
+	}
+	if j.Meet(FromValue(storage.IntV(7))).IsBottom() {
+		t.Errorf("7 should lie in [5,10]")
+	}
+	if got := NumRange(0, 4, false, false).Meet(NumRange(4, 9, true, false)); !got.IsBottom() {
+		t.Errorf("[0,4] ⊓ (4,9] = %v, want bottom", got)
+	}
+	if got := NumRange(0, 4, false, false).Meet(NumRange(4, 9, false, false)); got.IsBottom() {
+		t.Errorf("[0,4] ⊓ [4,9] should contain 4")
+	}
+	s1 := FromValue(storage.StringV("a")).Join(FromValue(storage.StringV("b")))
+	s2 := FromValue(storage.StringV("c"))
+	if !s1.Meet(s2).IsBottom() {
+		t.Errorf("{'a','b'} ⊓ {'c'} should be bottom")
+	}
+	if Top().Meet(five).String() != "{5}" {
+		t.Errorf("Top ⊓ {5} = %v", Top().Meet(five))
+	}
+	if !NullOnly().WithoutNull().IsBottom() {
+		t.Error("null minus null should be bottom")
+	}
+	// Join then Meet monotonicity smoke: (a ⊔ b) ⊓ a == a for constants.
+	if got := j.Meet(five); got.String() != "{5}" {
+		t.Errorf("([5,10]) ⊓ {5} = %v", got)
+	}
+}
+
+func TestCondUnsat(t *testing.T) {
+	sch := testSchema(t)
+	cases := []struct {
+		src   string
+		unsat bool
+	}{
+		{"1 = 2", true},
+		{"1 = 1", false},
+		{"1 < 2 and 2 < 1", true},
+		{"exists (select 1 from t where t.v < 5 and t.v > 10)", true},
+		{"exists (select 1 from t where t.v < 5 and t.v >= 5)", true},
+		{"exists (select 1 from t where t.v < 5 or t.v > 10)", false},
+		{"exists (select 1 from t where t.v = 3 and t.v = 4)", true},
+		{"exists (select 1 from t where t.v is null and t.v = 3)", true},
+		{"not exists (select 1 from t where t.v < 5)", false},
+		// Aggregate subquery without GROUP BY always yields one row.
+		{"not exists (select count(*) from t)", true},
+		{"exists (select count(*) from t where 1 = 2)", false},
+		{"exists (select 1 from t where t.s = 'a' and t.s = 'b')", true},
+		{"exists (select 1 from t where t.s = 'a' and t.s <> 'b')", false},
+		{"exists (select 1 from t where not (t.v >= 0) and t.v > 10)", true},
+		{"exists (select 1 from t where t.v in (1, 2) and t.v > 5)", true},
+		{"exists (select 1 from t where t.v in (1, 2) and t.v > 1)", false},
+		{"exists (select 1 from t where t.v < null)", true},
+		{"exists (select 1 from inserted where inserted.v > 3)", false},
+	}
+	for _, tc := range cases {
+		e := parseCond(t, sch, tc.src)
+		if got := CondUnsat(e, false); got != tc.unsat {
+			t.Errorf("CondUnsat(%q) = %v, want %v", tc.src, got, tc.unsat)
+		}
+	}
+}
+
+func TestRowConstraints(t *testing.T) {
+	sch := testSchema(t)
+	e := parseCond(t, sch, "exists (select 1 from inserted where inserted.v >= 60 and inserted.s = 'x')")
+	ws := TransWitnesses(e)
+	if len(ws) != 1 {
+		t.Fatalf("witnesses = %d, want 1", len(ws))
+	}
+	w := ws[0]
+	if w.Table != "t" || w.Trans != sqlmini.TransInserted {
+		t.Fatalf("witness = %+v", w)
+	}
+	if got := w.Cons.Get("v").String(); got != "[60,inf)" {
+		t.Errorf("v constraint = %s, want [60,inf)", got)
+	}
+	if got := w.Cons.Get("s").String(); got != "'x'" {
+		t.Errorf("s constraint = %s, want 'x'", got)
+	}
+	// The witness constraint must be disjoint from a low insert value.
+	if !w.Cons.Get("v").Disjoint(FromValue(storage.IntV(10))) {
+		t.Error("[60,inf) should exclude 10")
+	}
+}
+
+func TestTransWitnessGuards(t *testing.T) {
+	sch := testSchema(t)
+	// Aggregates without GROUP BY yield a row over empty input: no witness.
+	if ws := TransWitnesses(parseCond(t, sch, "exists (select count(*) from inserted where inserted.v > 3)")); len(ws) != 0 {
+		t.Errorf("aggregate sub produced witnesses: %+v", ws)
+	}
+	// Negated EXISTS requires no witness row.
+	if ws := TransWitnesses(parseCond(t, sch, "not exists (select 1 from inserted where inserted.v > 3)")); len(ws) != 0 {
+		t.Errorf("negated exists produced witnesses: %+v", ws)
+	}
+	// Disjunctions do not make each disjunct necessary.
+	cond := "exists (select 1 from inserted where inserted.v > 3) or 1 = 1"
+	if ws := TransWitnesses(parseCond(t, sch, cond)); len(ws) != 0 {
+		t.Errorf("disjunct produced witnesses: %+v", ws)
+	}
+	// A conjunction of two EXISTS yields both witnesses.
+	cond = "exists (select 1 from inserted where inserted.v > 3) and exists (select 1 from t where t.v < 0)"
+	ws := TransWitnesses(parseCond(t, sch, cond))
+	if len(ws) != 1 || ws[0].Trans != sqlmini.TransInserted {
+		t.Errorf("conjunction witnesses = %+v, want 1 inserted-t witness", ws)
+	}
+}
+
+func TestStatementEffects(t *testing.T) {
+	sch := testSchema(t)
+	effs := StatementEffects(sch, []sqlmini.Statement{
+		parseStmt(t, sch, "insert into t values (1, 100, 'a'), (2, 200, 'b')"),
+		parseStmt(t, sch, "update u set v = 5 where u.id > 3"),
+		parseStmt(t, sch, "delete from u where u.v < 0"),
+		parseStmt(t, sch, "insert into t (id) values (7)"),
+	})
+	if len(effs) != 4 {
+		t.Fatalf("effects = %d, want 4", len(effs))
+	}
+	ins := effs[0]
+	if ins.Kind != EffInsert || ins.Table != "t" {
+		t.Fatalf("eff0 = %+v", ins)
+	}
+	if got := ins.InsertVals.Get("v").String(); got != "[100,200]" {
+		t.Errorf("insert v = %s, want [100,200]", got)
+	}
+	if got := ins.InsertVals.Get("s").String(); got != "'a'|'b'" {
+		t.Errorf("insert s = %s, want 'a'|'b'", got)
+	}
+	upd := effs[1]
+	if upd.Kind != EffUpdate || upd.SetVals.Get("v").String() != "{5}" {
+		t.Errorf("update eff = %+v", upd)
+	}
+	if got := upd.Scope.Get("id").String(); got != "(3,inf)" {
+		t.Errorf("update scope id = %s, want (3,inf)", got)
+	}
+	del := effs[2]
+	if del.Kind != EffDelete || del.Scope.Get("v").String() != "(-inf,0)" {
+		t.Errorf("delete eff = %+v scope v=%s", del, del.Scope.Get("v"))
+	}
+	// Unlisted insert columns carry null.
+	partial := effs[3]
+	if !partial.InsertVals.Get("v").MayBeNull() || !partial.InsertVals.Get("v").WithoutNull().IsBottom() {
+		t.Errorf("partial insert v = %v, want null-only", partial.InsertVals.Get("v"))
+	}
+}
+
+func TestInsertSelectEffects(t *testing.T) {
+	sch := testSchema(t)
+	effs := StatementEffects(sch, []sqlmini.Statement{
+		parseStmt(t, sch, "insert into u select t.id, t.v from t where t.v >= 60"),
+	})
+	if len(effs) != 1 {
+		t.Fatalf("effects = %d, want 1", len(effs))
+	}
+	if got := effs[0].InsertVals.Get("v").String(); got != "[60,inf)" {
+		t.Errorf("insert-select v = %s, want [60,inf)", got)
+	}
+	// Star form over a single source.
+	effs = StatementEffects(sch, []sqlmini.Statement{
+		parseStmt(t, sch, "insert into u select * from u where u.v < 10"),
+	})
+	if got := effs[0].InsertVals.Get("v").String(); got != "(-inf,10)" {
+		t.Errorf("insert-select-star v = %s, want (-inf,10)", got)
+	}
+}
+
+func TestRuleReadContexts(t *testing.T) {
+	sch := testSchema(t)
+	cond := parseCond(t, sch, "exists (select 1 from inserted where inserted.v > 3)")
+	action := []sqlmini.Statement{
+		parseStmt(t, sch, "update u set v = 0 where u.id = 1"),
+		parseStmt(t, sch, "insert into u select * from u where u.v < 5"),
+	}
+	ctxs := RuleReadContexts(sch, cond, action)
+	var insertedCtx, updTarget, starSrc *ReadContext
+	for _, c := range ctxs {
+		switch {
+		case c.Trans == sqlmini.TransInserted:
+			insertedCtx = c
+		case c.Table == "u" && c.Trans == sqlmini.TransNone && c.Cols["id"] && len(c.Scope) > 0 && !c.Scope.Get("id").IsTop() && c.Scope.Get("id").String() == "{1}":
+			updTarget = c
+		case c.Table == "u" && c.Cols["v"] && c.Cols["id"] && c.Scope.Get("v").String() == "(-inf,5)":
+			starSrc = c
+		}
+	}
+	if insertedCtx == nil || !insertedCtx.Cols["v"] {
+		t.Errorf("missing inserted-t context reading v: %+v", ctxs)
+	}
+	if insertedCtx != nil {
+		if got := insertedCtx.Scope.Get("v").String(); got != "(3,inf)" {
+			t.Errorf("inserted scope v = %s, want (3,inf)", got)
+		}
+	}
+	if updTarget == nil {
+		t.Errorf("missing update-target context")
+	}
+	if starSrc == nil {
+		t.Errorf("missing star-expanded source context")
+	}
+}
+
+func TestEvalExprArith(t *testing.T) {
+	sch := testSchema(t)
+	e := parseCond(t, sch, "exists (select 1 from t where t.v + 1 > 10)")
+	_ = e // arithmetic on the column side is not constrained; just must not panic
+	plus, err := sqlmini.ParseExpr("1 + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EvalExpr(plus, nil).String(); got != "{3}" {
+		t.Errorf("1+2 = %s", got)
+	}
+	neg, err := sqlmini.ParseExpr("-(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EvalExpr(neg, nil).String(); got != "{-3}" {
+		t.Errorf("-(3) = %s", got)
+	}
+	inf := NumRange(0, math.Inf(1), false, false)
+	if inf.Join(NullOnly()).String() != "null|[0,inf)" {
+		t.Errorf("join render = %s", inf.Join(NullOnly()))
+	}
+}

@@ -23,6 +23,11 @@ type Analyzer struct {
 	// soundness under exact net-effect semantics.
 	noCond7 bool
 
+	// refine enables condition-aware refinement (see refine.go); ref
+	// holds the precomputed abstract summaries. Set via SetRefinement.
+	refine bool
+	ref    *refinement
+
 	// par is the resolved worker count for the pairwise passes
 	// (CommutativityMatrix, the Confluence Requirement sweep, and Sig's
 	// closure), set via SetParallelism. The zero value — never set —
@@ -110,5 +115,6 @@ func (a *Analyzer) graph() *TriggeringGraph {
 // withView derives an analyzer sharing everything but the view (and the
 // commute cache, whose entries depend on the view).
 func (a *Analyzer) withView(v ruleView) *Analyzer {
-	return &Analyzer{set: a.set, cert: a.cert, view: v, tg: a.tg, par: a.par}
+	return &Analyzer{set: a.set, cert: a.cert, view: v, tg: a.tg, par: a.par,
+		refine: a.refine, ref: a.ref}
 }

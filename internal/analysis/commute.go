@@ -86,6 +86,17 @@ func (a *Analyzer) commuteUncached(ri, rj *rules.Rule) (bool, []NoncommuteReason
 	}
 	reasons := a.noncommuteOneWay(lo, hi)
 	reasons = append(reasons, a.noncommuteOneWay(hi, lo)...) // condition 6
+	if len(reasons) > 0 && a.refine && a.ref != nil {
+		// Condition-aware refinement: discharge reasons the abstract
+		// interpretation proves spurious. A fully discharged pair is
+		// upgraded to "commutes" and the justifications recorded; a
+		// partially discharged pair keeps only the surviving reasons.
+		remaining, whys := a.dischargeReasons(lo, hi, reasons)
+		if len(remaining) == 0 {
+			a.ref.recordUpgrade(lo, hi, whys)
+		}
+		reasons = remaining
+	}
 	return len(reasons) == 0, reasons
 }
 

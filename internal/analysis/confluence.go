@@ -62,6 +62,11 @@ type ConfluenceVerdict struct {
 
 	// PairsChecked counts the unordered pairs analyzed.
 	PairsChecked int
+
+	// Upgrades lists the pairs whose conservative noncommutativity
+	// verdict was upgraded to "commutes" by condition-aware refinement,
+	// sorted by pair. Empty unless SetRefinement is active.
+	Upgrades []CommuteUpgrade
 }
 
 // Confluence analyzes the full rule set for confluence (Theorem 6.7):
@@ -102,6 +107,9 @@ func (a *Analyzer) confluenceOver(members []*rules.Rule, term *TerminationVerdic
 	}
 	v.RequirementHolds = len(v.Violations) == 0
 	v.Guaranteed = v.RequirementHolds && term.Guaranteed
+	if a.refine {
+		v.Upgrades = a.Upgrades()
+	}
 	return v
 }
 

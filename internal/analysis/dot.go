@@ -11,14 +11,20 @@ import (
 // interactive environment: nodes are rules (observable rules get a
 // double outline), solid edges are the Triggers relation, and rules on
 // cycles that survive discharges are highlighted. Dashed gray edges show
-// the direct priority orderings.
+// the direct priority orderings. Edges pruned by condition-aware
+// refinement (verdict.PrunedEdges) render dotted gray with a "pruned"
+// label.
 func (g *TriggeringGraph) WriteDOT(w io.Writer, verdict *TerminationVerdict) error {
 	cyclic := map[string]bool{}
+	pruned := map[[2]string]bool{}
 	if verdict != nil {
 		for _, comp := range verdict.CyclicSCCs {
 			for _, r := range comp {
 				cyclic[r.Name] = true
 			}
+		}
+		for _, pe := range verdict.PrunedEdges {
+			pruned[[2]string{pe.From, pe.To}] = true
 		}
 	}
 	if _, err := fmt.Fprintln(w, "digraph triggering {"); err != nil {
@@ -41,7 +47,10 @@ func (g *TriggeringGraph) WriteDOT(w io.Writer, verdict *TerminationVerdict) err
 	for _, ri := range g.set.Rules() {
 		for _, rj := range g.Successors(ri) {
 			style := ""
-			if cyclic[ri.Name] && cyclic[rj.Name] {
+			switch {
+			case pruned[[2]string{ri.Name, rj.Name}]:
+				style = ` [style=dotted, color=gray, label="pruned"]`
+			case cyclic[ri.Name] && cyclic[rj.Name]:
 				style = ` [color=red]`
 			}
 			fmt.Fprintf(w, "  %q -> %q%s;\n", ri.Name, rj.Name, style)

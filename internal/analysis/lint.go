@@ -1,0 +1,350 @@
+package analysis
+
+// rulelint: a diagnostics engine over the static analyses. Each detector
+// emits Diagnostics with a stable RL0xx code, a severity, and the source
+// span of the offending rule, so front ends (rulecheck -lint) can render
+// them like compiler errors. The detectors reuse the condition-aware
+// refinement of refine.go; Lint always builds the refinement summaries,
+// whether or not the analyzer has SetRefinement enabled.
+//
+// Codes:
+//
+//	RL001 error    dead rule: condition statically unsatisfiable
+//	RL002 warning  self-deactivating rule: a self-triggering edge whose
+//	               written rows its own condition provably rejects
+//	RL003 warning  shadowed priority: a precedes/follows clause already
+//	               implied transitively by other priorities
+//	RL004 info     dead-store column: updated by a rule but read by no
+//	               rule and triggering no rule
+//	RL005 info     infeasible cycle: a triggering cycle that refinement
+//	               proves can never sustain itself
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// Severity classifies a lint diagnostic.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String renders the severity in lowercase, as shown in reports.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	// Code is the stable RL0xx identifier.
+	Code string `json:"code"`
+	// Severity is the finding's severity class.
+	Severity Severity `json:"severity"`
+	// Rule names the rule the finding is anchored to.
+	Rule string `json:"rule"`
+	// Line and Col locate the rule's CREATE RULE keyword (1-based);
+	// zero when the rule was built programmatically.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message states the finding.
+	Message string `json:"message"`
+	// Hint, when non-empty, suggests a fix.
+	Hint string `json:"hint,omitempty"`
+	// Notes carry supporting detail (e.g. per-edge justifications).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// LintResult is the sorted set of diagnostics for one rule set.
+type LintResult struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Errors, Warnings, and Infos count diagnostics per severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+// HasErrors reports whether any diagnostic has error severity.
+func (lr *LintResult) HasErrors() bool { return lr.Errors > 0 }
+
+// Lint runs every detector and returns the diagnostics sorted by
+// (Line, Col, Code, Rule). Refinement summaries are built on demand, so
+// Lint works on analyzers with or without SetRefinement.
+func (a *Analyzer) Lint() *LintResult {
+	ra := a
+	if !a.refine || a.ref == nil {
+		ra = &Analyzer{set: a.set, cert: a.cert, view: a.view, tg: a.graph(), par: a.par,
+			refine: true, ref: buildRefinement(a.set, a.graph())}
+	}
+	lr := &LintResult{}
+	lr.add(ra.lintDeadRules()...)
+	lr.add(ra.lintSelfDeactivating()...)
+	lr.add(ra.lintShadowedPriorities()...)
+	lr.add(ra.lintDeadStores()...)
+	lr.add(ra.lintInfeasibleCycles()...)
+	sort.SliceStable(lr.Diagnostics, func(i, j int) bool {
+		di, dj := lr.Diagnostics[i], lr.Diagnostics[j]
+		if di.Line != dj.Line {
+			return di.Line < dj.Line
+		}
+		if di.Col != dj.Col {
+			return di.Col < dj.Col
+		}
+		if di.Code != dj.Code {
+			return di.Code < dj.Code
+		}
+		return di.Rule < dj.Rule
+	})
+	return lr
+}
+
+func (lr *LintResult) add(ds ...Diagnostic) {
+	for _, d := range ds {
+		lr.Diagnostics = append(lr.Diagnostics, d)
+		switch d.Severity {
+		case SevError:
+			lr.Errors++
+		case SevWarning:
+			lr.Warnings++
+		default:
+			lr.Infos++
+		}
+	}
+}
+
+func at(r *rules.Rule, d Diagnostic) Diagnostic {
+	d.Rule = r.Name
+	d.Line = r.Line
+	d.Col = r.Col
+	return d
+}
+
+// lintDeadRules emits RL001 for rules whose condition is statically
+// unsatisfiable: they can never fire, which is almost always a typo.
+func (a *Analyzer) lintDeadRules() []Diagnostic {
+	var out []Diagnostic
+	for i, r := range a.set.Rules() {
+		if !a.ref.dead[i] {
+			continue
+		}
+		out = append(out, at(r, Diagnostic{
+			Code: "RL001", Severity: SevError,
+			Message: fmt.Sprintf("rule %s can never fire: its condition is statically unsatisfiable", r.Name),
+			Hint:    "remove the rule or repair its condition",
+		}))
+	}
+	return out
+}
+
+// lintSelfDeactivating emits RL002 for self-triggering edges pruned by
+// refinement: the rule's action re-triggers it, but only with rows its
+// own condition rejects, so the self-loop is a latent no-op.
+func (a *Analyzer) lintSelfDeactivating() []Diagnostic {
+	var out []Diagnostic
+	rs := a.set.Rules()
+	for _, r := range rs {
+		why, ok := a.ref.edgePruned(r, r)
+		if !ok {
+			continue
+		}
+		out = append(out, at(r, Diagnostic{
+			Code: "RL002", Severity: SevWarning,
+			Message: fmt.Sprintf("rule %s re-triggers itself, but its condition rejects every row its own action supplies", r.Name),
+			Hint:    "if re-firing was intended, align the written values with the condition; otherwise narrow the trigger",
+			Notes:   []string{why},
+		}))
+	}
+	return out
+}
+
+// lintShadowedPriorities emits RL003 for precedes/follows clauses whose
+// ordering is already implied transitively by the remaining priorities:
+// the clause is dead weight and often signals a misunderstanding of the
+// existing order.
+func (a *Analyzer) lintShadowedPriorities() []Diagnostic {
+	var out []Diagnostic
+	rs := a.set.Rules()
+	emit := func(declarer, hi, lo *rules.Rule, clause string) {
+		for _, mid := range rs {
+			if mid == hi || mid == lo {
+				continue
+			}
+			if a.set.Higher(hi, mid) && a.set.Higher(mid, lo) {
+				out = append(out, at(declarer, Diagnostic{
+					Code: "RL003", Severity: SevWarning,
+					Message: fmt.Sprintf("%q on rule %s is redundant: %s already precedes %s via %s",
+						clause, declarer.Name, hi.Name, lo.Name, mid.Name),
+					Hint: "remove the redundant clause",
+				}))
+				return
+			}
+		}
+	}
+	for _, r := range rs {
+		for _, name := range r.Precedes {
+			if other := a.set.Rule(name); other != nil {
+				emit(r, r, other, "precedes "+other.Name)
+			}
+		}
+		for _, name := range r.Follows {
+			if other := a.set.Rule(name); other != nil {
+				emit(r, other, r, "follows "+other.Name)
+			}
+		}
+	}
+	return out
+}
+
+// lintDeadStores emits RL004 for columns a rule updates that no rule
+// reads and that trigger no rule: within the rule system the write is a
+// dead store. Info severity — the column may of course matter to queries
+// outside the rule system.
+func (a *Analyzer) lintDeadStores() []Diagnostic {
+	var out []Diagnostic
+	rs := a.set.Rules()
+	consumed := func(op schema.Op) bool {
+		cr := schema.ColRef(op.Table, op.Column)
+		for _, r := range rs {
+			if a.view.reads(r).Contains(cr) || r.TriggeredBy().Contains(op) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range rs {
+		for _, op := range a.view.performs(r).Sorted() {
+			if op.Kind != schema.OpUpdate || consumed(op) {
+				continue
+			}
+			out = append(out, at(r, Diagnostic{
+				Code: "RL004", Severity: SevInfo,
+				Message: fmt.Sprintf("rule %s updates %s.%s, but no rule reads that column or is triggered by it (dead store within the rule system)",
+					r.Name, op.Table, op.Column),
+				Hint: "drop the assignment if the column only matters to rules",
+			}))
+		}
+	}
+	return out
+}
+
+// lintInfeasibleCycles emits RL005 for triggering cycles of the raw
+// graph that refinement proves can never sustain themselves: the SCC is
+// cyclic syntactically but acyclic after condition-aware pruning. The
+// notes justify each pruned edge (and each discharged dead rule) inside
+// the component.
+func (a *Analyzer) lintInfeasibleCycles() []Diagnostic {
+	raw := &Analyzer{set: a.set, cert: a.cert, view: a.view, tg: a.tg, par: a.par}
+	rawV := raw.terminationOf(nil)
+	refV := a.terminationOf(nil)
+	stillCyclic := map[string]bool{}
+	for _, comp := range refV.CyclicSCCs {
+		for _, r := range comp {
+			stillCyclic[r.Name] = true
+		}
+	}
+	var out []Diagnostic
+	for _, comp := range rawV.CyclicSCCs {
+		resolved := true
+		for _, r := range comp {
+			if stillCyclic[r.Name] {
+				resolved = false
+				break
+			}
+		}
+		if !resolved {
+			continue
+		}
+		inComp := map[string]bool{}
+		anchor := comp[0]
+		for _, r := range comp {
+			inComp[r.Name] = true
+			if r.Index() < anchor.Index() {
+				anchor = r
+			}
+		}
+		var notes []string
+		for _, d := range refV.RefinementDischarged {
+			if inComp[d.Rule] {
+				notes = append(notes, fmt.Sprintf("rule %s discharged: %s", d.Rule, d.Why))
+			}
+		}
+		for _, pe := range refV.PrunedEdges {
+			if inComp[pe.From] && inComp[pe.To] {
+				notes = append(notes, fmt.Sprintf("edge %s -> %s pruned: %s", pe.From, pe.To, pe.Why))
+			}
+		}
+		names := rules.Names(comp)
+		sort.Strings(names)
+		out = append(out, at(anchor, Diagnostic{
+			Code: "RL005", Severity: SevInfo,
+			Message: fmt.Sprintf("triggering cycle through {%s} is infeasible: condition-aware pruning breaks it", strings.Join(names, ", ")),
+			Hint:    "no action needed; run rulecheck -refine to apply the pruning to termination analysis",
+			Notes:   notes,
+		}))
+	}
+	return out
+}
+
+// RenderLintText renders the result in compiler style:
+//
+//	file:line:col: severity CODE [rule]: message
+//	    note: ...
+//	    hint: ...
+//
+// followed by a summary line. file labels the source; use the rules
+// path. Deterministic: diagnostics are pre-sorted and notes ordered.
+func RenderLintText(lr *LintResult, file string) string {
+	if file == "" {
+		file = "<rules>"
+	}
+	var sb strings.Builder
+	for _, d := range lr.Diagnostics {
+		fmt.Fprintf(&sb, "%s:%d:%d: %s %s [%s]: %s\n", file, d.Line, d.Col, d.Severity, d.Code, d.Rule, d.Message)
+		for _, n := range d.Notes {
+			fmt.Fprintf(&sb, "    note: %s\n", n)
+		}
+		if d.Hint != "" {
+			fmt.Fprintf(&sb, "    hint: %s\n", d.Hint)
+		}
+	}
+	if len(lr.Diagnostics) == 0 {
+		sb.WriteString("no lint findings\n")
+	} else {
+		fmt.Fprintf(&sb, "%d findings (%d errors, %d warnings, %d info)\n",
+			len(lr.Diagnostics), lr.Errors, lr.Warnings, lr.Infos)
+	}
+	return sb.String()
+}
+
+// RenderLintJSON renders the result as indented JSON with a trailing
+// newline. The field order is fixed by the struct definitions, so the
+// output is byte-stable.
+func RenderLintJSON(lr *LintResult, file string) ([]byte, error) {
+	payload := struct {
+		File string `json:"file"`
+		*LintResult
+	}{File: file, LintResult: lr}
+	b, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLintFixtureFiresEveryCode: the shipped lintdemo fixture exercises
+// every RL0xx code exactly as designed.
+func TestLintFixtureFiresEveryCode(t *testing.T) {
+	lr := loadFixture(t, nil).Lint()
+	got := map[string][]string{}
+	for _, d := range lr.Diagnostics {
+		got[d.Code] = append(got[d.Code], d.Rule)
+	}
+	want := map[string][]string{
+		"RL001": {"r_dead"},
+		"RL002": {"r_selfcap"},
+		"RL003": {"r_ping"},
+		"RL004": {"r_stamp"},
+		"RL005": {"r_ping", "r_selfcap"},
+	}
+	for code, rules := range want {
+		if strings.Join(got[code], ",") != strings.Join(rules, ",") {
+			t.Errorf("%s fired for %v, want %v", code, got[code], rules)
+		}
+	}
+	if len(lr.Diagnostics) != 6 {
+		t.Errorf("total = %d, want 6", len(lr.Diagnostics))
+	}
+	if lr.Errors != 1 || lr.Warnings != 2 || lr.Infos != 3 {
+		t.Errorf("counts = %d/%d/%d, want 1/2/3", lr.Errors, lr.Warnings, lr.Infos)
+	}
+	if !lr.HasErrors() {
+		t.Error("HasErrors should report true")
+	}
+}
+
+// TestLintSpansAndOrdering: diagnostics carry real source spans and are
+// sorted by (Line, Col, Code, Rule).
+func TestLintSpansAndOrdering(t *testing.T) {
+	lr := loadFixture(t, nil).Lint()
+	prev := [2]int{0, 0}
+	for _, d := range lr.Diagnostics {
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("%s [%s]: missing span %d:%d", d.Code, d.Rule, d.Line, d.Col)
+		}
+		cur := [2]int{d.Line, d.Col}
+		if cur[0] < prev[0] || (cur[0] == prev[0] && cur[1] < prev[1]) {
+			t.Errorf("diagnostics out of order at %s [%s]", d.Code, d.Rule)
+		}
+		prev = cur
+	}
+	// RL005 must justify every pruned edge of its component.
+	for _, d := range lr.Diagnostics {
+		if d.Code == "RL005" && len(d.Notes) == 0 {
+			t.Errorf("RL005 [%s] lacks per-edge justifications", d.Rule)
+		}
+	}
+}
+
+// TestLintCleanSet: a healthy rule set produces no findings.
+func TestLintCleanSet(t *testing.T) {
+	a := compile(t, "table t (v int)\ntable u (v int)", `
+create rule r1 on t when inserted then insert into u values (1)
+`, nil)
+	lr := a.Lint()
+	if len(lr.Diagnostics) != 0 {
+		t.Errorf("clean set produced findings: %v", lr.Diagnostics)
+	}
+	if out := RenderLintText(lr, "x.srl"); !strings.Contains(out, "no lint findings") {
+		t.Errorf("text render = %q", out)
+	}
+}
+
+// TestLintRenderers: text and JSON renderings are deterministic, and the
+// JSON round-trips with string severities.
+func TestLintRenderers(t *testing.T) {
+	lr := loadFixture(t, nil).Lint()
+	text := RenderLintText(lr, "rules.srl")
+	for _, want := range []string{
+		"rules.srl:3:1: error RL001 [r_dead]",
+		"warning RL002 [r_selfcap]",
+		"warning RL003 [r_ping]",
+		"info RL004 [r_stamp]",
+		"info RL005",
+		"6 findings (1 errors, 2 warnings, 3 info)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text render missing %q:\n%s", want, text)
+		}
+	}
+	if again := RenderLintText(loadFixture(t, nil).Lint(), "rules.srl"); again != text {
+		t.Error("text render not deterministic")
+	}
+
+	b, err := RenderLintJSON(lr, "rules.srl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		File        string `json:"file"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+		} `json:"diagnostics"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.File != "rules.srl" || decoded.Errors != 1 || len(decoded.Diagnostics) != 6 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.Diagnostics[0].Severity != "error" {
+		t.Errorf("severity rendered as %q, want string form", decoded.Diagnostics[0].Severity)
+	}
+	b2, _ := RenderLintJSON(loadFixture(t, nil).Lint(), "rules.srl")
+	if string(b2) != string(b) {
+		t.Error("JSON render not deterministic")
+	}
+}
+
+// TestLintWorksWithoutRefinementFlag: Lint builds its own refinement
+// and must not flip the analyzer into refined mode as a side effect.
+func TestLintWorksWithoutRefinementFlag(t *testing.T) {
+	a := loadFixture(t, nil)
+	if lr := a.Lint(); lr.Errors != 1 {
+		t.Errorf("lint without SetRefinement: errors = %d, want 1", lr.Errors)
+	}
+	if a.Refined() {
+		t.Error("Lint must not enable refinement on the analyzer")
+	}
+	if a.Termination().Guaranteed {
+		t.Error("raw termination verdict must be unaffected by Lint")
+	}
+}

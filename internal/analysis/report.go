@@ -35,6 +35,14 @@ func ReportTermination(v *TerminationVerdict) string {
 		}
 		sb.WriteString("  discharged edges: " + strings.Join(parts, ", ") + "\n")
 	}
+	if v.Refined {
+		for _, d := range v.RefinementDischarged {
+			sb.WriteString("  refinement-discharged: " + d.Rule + " — " + d.Why + "\n")
+		}
+		for _, pe := range v.PrunedEdges {
+			sb.WriteString("  pruned edge: " + pe.From + " -> " + pe.To + " — " + pe.Why + "\n")
+		}
+	}
 	for i, comp := range v.CyclicSCCs {
 		sb.WriteString(fmt.Sprintf("  cyclic component %d: {%s}\n", i+1, strings.Join(rules.Names(comp), ", ")))
 		if i < len(v.SampleCycles) {
@@ -66,6 +74,12 @@ func ReportConfluence(v *ConfluenceVerdict) string {
 		sb.WriteString(fmt.Sprintf("  violation %d: %s\n", i+1, indent(viol.String(), "  ")))
 		for _, s := range viol.Suggestions() {
 			sb.WriteString("    -> " + s + "\n")
+		}
+	}
+	for _, up := range v.Upgrades {
+		sb.WriteString(fmt.Sprintf("  refined to commute: (%s, %s)\n", up.A, up.B))
+		for _, why := range up.Why {
+			sb.WriteString("    " + why + "\n")
 		}
 	}
 	return sb.String()
@@ -128,6 +142,16 @@ func ExplainPair(a *Analyzer, ri, rj *rules.Rule) string {
 	ok, reasons := a.Commute(ri, rj)
 	if ok {
 		sb.WriteString("  commutativity (Lemma 6.1): guaranteed to commute\n")
+		if a.Refined() {
+			for _, up := range a.Upgrades() {
+				if (up.A == ri.Name && up.B == rj.Name) || (up.A == rj.Name && up.B == ri.Name) {
+					sb.WriteString("    upgraded by condition-aware refinement:\n")
+					for _, why := range up.Why {
+						sb.WriteString("      " + why + "\n")
+					}
+				}
+			}
+		}
 	} else {
 		sb.WriteString("  commutativity (Lemma 6.1): may NOT commute\n")
 		for _, r := range reasons {

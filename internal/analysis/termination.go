@@ -35,6 +35,19 @@ type TerminationVerdict struct {
 	// from the graph before the cycle check.
 	DischargedEdges [][2]string
 
+	// Refined reports that condition-aware refinement (SetRefinement)
+	// was active for this analysis. The following two fields are only
+	// populated when it was.
+	Refined bool
+
+	// RefinementDischarged lists rules discharged because their
+	// condition is statically unsatisfiable (dead rules).
+	RefinementDischarged []RefinementDischarge
+
+	// PrunedEdges lists the triggering edges removed by predicate
+	// abstraction, each with its justification, sorted by (From, To).
+	PrunedEdges []PrunedEdge
+
 	// Graph is the triggering graph analyzed, for further inspection.
 	Graph *TriggeringGraph
 }
@@ -61,7 +74,18 @@ func (a *Analyzer) terminationOf(subset []*rules.Rule) *TerminationVerdict {
 			return a.cert.EdgeDischarged(from.Name, to.Name)
 		})
 	}
+	if a.refine && a.ref != nil && len(a.ref.pruned) > 0 {
+		g = g.WithoutEdges(func(from, to *rules.Rule) bool {
+			_, pruned := a.ref.edgePruned(from, to)
+			return pruned
+		})
+	}
 	v := &TerminationVerdict{Graph: g, DischargedEdges: droppedEdges}
+	if a.refine && a.ref != nil {
+		v.Refined = true
+		v.RefinementDischarged = a.ref.deadDischarges()
+		v.PrunedEdges = a.ref.sortedPrunedEdges()
+	}
 
 	// Discharge pass: user discharges apply unconditionally; the
 	// delete-only heuristic needs the component structure, so iterate:
@@ -72,6 +96,9 @@ func (a *Analyzer) terminationOf(subset []*rules.Rule) *TerminationVerdict {
 			discharged[r.Name] = true
 			v.UserDischarged = append(v.UserDischarged, r.Name)
 		}
+	}
+	for _, d := range v.RefinementDischarged {
+		discharged[d.Rule] = true
 	}
 	for {
 		sccs := g.CyclicSCCs(subset, func(r *rules.Rule) bool { return discharged[r.Name] })

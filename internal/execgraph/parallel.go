@@ -41,7 +41,7 @@ type pkey = [32]byte
 // bits of its hash, so concurrent claims of unrelated states almost
 // never contend on the same lock.
 type shardedMemo struct {
-	shift uint
+	shift  uint
 	shards []memoShard
 }
 

@@ -197,8 +197,23 @@ func (p *defParser) rawUntilHead() string {
 	return p.src[start:end]
 }
 
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(src string, off int) (line, col int) {
+	line, col = 1, 1
+	for i := 0; i < off && i < len(src); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
 func (p *defParser) parseRule() (rules.Definition, error) {
 	var def rules.Definition
+	def.Line, def.Col = lineCol(p.src, p.cur().pos)
 	if err := p.expectWord("create"); err != nil {
 		return def, err
 	}

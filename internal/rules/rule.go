@@ -63,6 +63,10 @@ type Definition struct {
 	// Precedes and Follows name rules this rule is ordered against.
 	Precedes []string
 	Follows  []string
+
+	// Line and Col locate the rule's CREATE RULE keyword in its source
+	// file (1-based); zero when the rule was built programmatically.
+	Line, Col int
 }
 
 // Rule is a compiled rule: parsed and resolved condition/action plus the
@@ -77,6 +81,10 @@ type Rule struct {
 
 	Precedes []string // as authored (validated names)
 	Follows  []string
+
+	// Line and Col locate the rule definition in its source file
+	// (1-based); zero when built programmatically.
+	Line, Col int
 
 	// Derived sets (Section 3), computed at compile time:
 	triggeredBy schema.OpSet

@@ -55,7 +55,7 @@ func compileRule(sch *schema.Schema, def Definition) (*Rule, error) {
 	if len(def.Triggers) == 0 {
 		return nil, fmt.Errorf("rules: rule %q has no triggering operations", name)
 	}
-	r := &Rule{Name: name, Table: table.Name}
+	r := &Rule{Name: name, Table: table.Name, Line: def.Line, Col: def.Col}
 	seen := map[string]bool{}
 	for _, ts := range def.Triggers {
 		cols := make([]string, len(ts.Columns))

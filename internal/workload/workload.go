@@ -57,6 +57,15 @@ type Config struct {
 	// action statement reference its transition tables (inserted /
 	// deleted / new-updated), exercising the set-oriented semantics.
 	TransRefFrac float64
+
+	// ValueFloor, when positive, lifts every constant written by the
+	// generated insert and update statements by that amount. Generated
+	// condition bounds live in [40, 60), so a floor of 60 or more makes
+	// every written constant provably violate every condition — food
+	// for condition-aware refinement. Zero (the default) leaves
+	// generation byte-identical to earlier releases; the knob consumes
+	// no randomness either way.
+	ValueFloor int
 }
 
 func (c Config) withDefaults() Config {
@@ -183,9 +192,11 @@ func genRule(cfg Config, rng *rand.Rand, k int) rules.Definition {
 		case p < cfg.DeleteFrac:
 			action += fmt.Sprintf("delete from %s where v < %d", tableName(target), rng.Intn(3)-3)
 		case p < cfg.DeleteFrac+cfg.UpdateFrac:
-			action += fmt.Sprintf("update %s set v = %d where id = %d", tableName(target), rng.Intn(100), rng.Intn(5))
+			action += fmt.Sprintf("update %s set v = %d where id = %d",
+				tableName(target), cfg.ValueFloor+rng.Intn(100), rng.Intn(5))
 		default:
-			action += fmt.Sprintf("insert into %s values (%d, %d)", tableName(target), rng.Intn(5), rng.Intn(100))
+			action += fmt.Sprintf("insert into %s values (%d, %d)",
+				tableName(target), rng.Intn(5), cfg.ValueFloor+rng.Intn(100))
 		}
 	}
 	if rng.Float64() < cfg.ObservableFrac {
