@@ -1,0 +1,97 @@
+package main
+
+// Golden-file tests for ruleexec's durable-mode output surfaces: the
+// recovery summary line, the -trace wal preamble, and the checkpoint
+// lines. Run with -update to rewrite the golden files after an
+// intentional output change:
+//
+//	go test ./cmd/ruleexec -run TestGolden -update
+//
+// The WAL directory lives in a fresh temp dir per case, so none of its
+// paths leak into the output; everything printed must be byte-stable —
+// across runs and across -parallel worker counts.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const durSchema = "testdata/durable-schema.sdl"
+const durRules = "testdata/durable-rules.srl"
+const durOps = "testdata/durable-ops.sql"
+
+func TestGoldenDurable(t *testing.T) {
+	base := []string{"-schema", durSchema, "-rules", durRules, "-script", durOps}
+	cases := []struct {
+		name  string
+		extra []string // appended after -wal <dir>
+		prime int      // prior runs against the same wal dir
+	}{
+		{"durable-fresh", []string{"-trace", "-snapshot-every", "2"}, 0},
+		{"durable-recovered", nil, 1},
+		{"durable-recovered-twice", []string{"-snapshot-every", "1"}, 2},
+		{"durable-explore", []string{"-explore"}, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			wal := filepath.Join(t.TempDir(), "wal")
+			args := append(append([]string{}, base...), "-wal", wal)
+			for i := 0; i < tc.prime; i++ {
+				var out, errb bytes.Buffer
+				if code := run(args, &out, &errb); code != 0 {
+					t.Fatalf("priming run %d: exit %d; %s", i, code, errb.String())
+				}
+			}
+			args = append(args, tc.extra...)
+			var out, errb bytes.Buffer
+			if code := run(args, &out, &errb); code != 0 {
+				t.Fatalf("exit = %d; stderr: %s", code, errb.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s (run with -update after intentional changes)\ngot:\n%s\nwant:\n%s",
+					golden, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenDurableStableAcrossParallelism re-renders the durable
+// exploration surface at several -parallel worker counts and compares
+// each against the same golden bytes: -parallel is a pure performance
+// knob even in durable mode.
+func TestGoldenDurableStableAcrossParallelism(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "durable-explore.golden"))
+	if err != nil {
+		t.Fatalf("%v (run TestGoldenDurable with -update first)", err)
+	}
+	for _, workers := range []string{"0", "2", "8"} {
+		wal := filepath.Join(t.TempDir(), "wal")
+		var out, errb bytes.Buffer
+		code := run([]string{"-schema", durSchema, "-rules", durRules, "-script", durOps,
+			"-wal", wal, "-explore", "-parallel", workers}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d; %s", workers, code, errb.String())
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("-parallel %s output differs from golden:\ngot:\n%s\nwant:\n%s",
+				workers, out.String(), want)
+		}
+	}
+}

@@ -27,6 +27,15 @@
 //	-lint            run the rulelint preflight before executing; any
 //	                 error-severity finding (e.g. a dead rule) aborts the
 //	                 run with exit status 6
+//	-wal dir         durable mode: open (and recover) a write-ahead log
+//	                 in dir; every assertion point is a durable commit,
+//	                 and a crashed run resumes from its last commit on
+//	                 the next start
+//	-snapshot-every n  with -wal, checkpoint (snapshot + log rotation)
+//	                 after every n assertion points; 0 never checkpoints
+//	-fsync policy    with -wal: commit (default) | always | never
+//	-group-commit n  with -wal, fsync every nth commit instead of every
+//	                 one (riskier, faster); values below 2 disable
 //
 // Exit status:
 //
@@ -42,6 +51,8 @@
 //	   consideration was rolled back; the database is consistent)
 //	5  the -timeout deadline expired
 //	6  the -lint preflight found an error-severity finding
+//	7  the -wal directory is unrecoverable: its snapshot is corrupt or
+//	   does not match its log; committed history cannot be replayed
 package main
 
 import (
@@ -83,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallel := fs.Int("parallel", 1, "worker count for -explore (0 = one per CPU, 1 = sequential)")
 	traceFlag := fs.Bool("trace", false, "print each rule-processing step")
 	lint := fs.Bool("lint", false, "run the rulelint preflight; error findings abort with status 6")
+	walDir := fs.String("wal", "", "durable mode: write-ahead log directory (recovered on start)")
+	snapEvery := fs.Int("snapshot-every", 0, "with -wal, checkpoint after every n assertion points (0 = never)")
+	fsync := fs.String("fsync", "commit", "with -wal: commit | always | never")
+	groupCommit := fs.Int("group-commit", 0, "with -wal, fsync every nth commit (below 2 = every commit)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -112,14 +127,53 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}
 
-	db := sys.NewDB()
 	opts := activerules.EngineOptions{MaxSteps: *maxSteps, Strategy: strat}
 	if *traceFlag {
 		opts.Trace = func(ev activerules.TraceEvent) {
 			fmt.Fprintln(stdout, "trace:", ev.String())
 		}
 	}
-	eng := sys.NewEngine(db, opts)
+	var eng *activerules.Engine
+	var ds *activerules.DurableSession
+	if *walDir != "" {
+		policy, err := parseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(stderr, "ruleexec:", err)
+			return 2
+		}
+		ds, err = sys.OpenDurable(*walDir, activerules.DurableOptions{
+			Engine: opts,
+			WAL:    activerules.WALOptions{Sync: policy, GroupCommit: *groupCommit},
+		})
+		if err != nil {
+			if errors.Is(err, activerules.ErrUnrecoverableLog) {
+				fmt.Fprintln(stderr, "ruleexec: unrecoverable write-ahead log:", err)
+				return 7
+			}
+			fmt.Fprintln(stderr, "ruleexec:", err)
+			return 2
+		}
+		defer func() {
+			if err := ds.Close(); err != nil && code == 0 {
+				fmt.Fprintln(stderr, "ruleexec: wal close:", err)
+				code = 2
+			}
+		}()
+		eng = ds.Engine
+		if info := ds.Recovery(); info.Fresh {
+			fmt.Fprintf(stdout, "wal: fresh directory (gen=%d)\n", ds.Gen())
+		} else {
+			fmt.Fprintf(stdout, "wal: recovered gen=%d records=%d committed=%d mutations=%d aborted=%d discarded=%d truncated=%dB\n",
+				info.Gen, info.RecordsScanned, info.TxCommitted, info.MutationsReplayed,
+				info.Aborts, info.TailDiscarded, info.TruncatedBytes)
+		}
+		if *traceFlag {
+			fmt.Fprintf(stdout, "trace: wal: gen=%d fsync=%s group-commit=%d\n",
+				ds.Gen(), policy, *groupCommit)
+		}
+	} else {
+		eng = sys.NewEngine(sys.NewDB(), opts)
+	}
 
 	if *seedPath != "" {
 		seedSrc, err := os.ReadFile(*seedPath)
@@ -131,7 +185,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintln(stderr, "ruleexec: seed script:", err)
 			return 2
 		}
-		eng.Commit() // seed effects are committed state, not a transition
+		// Seed effects are committed state, not a transition.
+		if err := eng.Commit(); err != nil {
+			fmt.Fprintln(stderr, "ruleexec: seed commit:", err)
+			return 2
+		}
 	}
 
 	script, err := os.ReadFile(*scriptPath)
@@ -174,6 +232,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			i+1, res.Considered, res.Fired, res.RolledBack)
 		for _, ev := range res.Observables {
 			fmt.Fprintln(stdout, "observable:", ev.String())
+		}
+		if ds != nil && *snapEvery > 0 && (i+1)%*snapEvery == 0 {
+			if err := ds.Checkpoint(); err != nil {
+				fmt.Fprintln(stderr, "ruleexec: checkpoint:", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "wal: checkpoint gen=%d\n", ds.Gen())
 		}
 	}
 	fmt.Fprintln(stdout, "final database:")
@@ -265,6 +330,19 @@ func runExplore(ctx context.Context, eng *activerules.Engine, parallel int, stdo
 		return 1
 	}
 	return 0
+}
+
+func parseSyncPolicy(s string) (activerules.SyncPolicy, error) {
+	switch s {
+	case "commit":
+		return activerules.SyncCommit, nil
+	case "always":
+		return activerules.SyncAlways, nil
+	case "never":
+		return activerules.SyncNever, nil
+	default:
+		return activerules.SyncCommit, fmt.Errorf("unknown -fsync policy %q (want commit, always, or never)", s)
+	}
 }
 
 func parseStrategy(s string) (activerules.Strategy, error) {

@@ -264,3 +264,93 @@ func TestRuleexecTimeout(t *testing.T) {
 		t.Fatalf("timed-out exploration should exit 5, got %d; stderr: %s", code, errb.String())
 	}
 }
+
+func TestRuleexecRecoverAcrossRuns(t *testing.T) {
+	sp, rp, op := fixture(t)
+	wal := filepath.Join(t.TempDir(), "wal")
+	args := []string{"-schema", sp, "-rules", rp, "-script", op, "-wal", wal}
+
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("first run: exit %d; %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal: fresh directory (gen=1)") {
+		t.Errorf("first run missing fresh-directory line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "dst (1 rows)") {
+		t.Errorf("first run wrong state:\n%s", out.String())
+	}
+
+	// Second run: the first run's committed state is recovered, so the
+	// same script accumulates on top of it.
+	out.Reset()
+	errb.Reset()
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("second run: exit %d; %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal: recovered gen=1") {
+		t.Errorf("second run missing recovery summary:\n%s", out.String())
+	}
+	for _, want := range []string{"dst (2 rows)", "src (2 rows)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("second run missing %q (recovered state lost):\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRuleexecSnapshotEveryRotatesGenerations(t *testing.T) {
+	sp, rp, op := fixture(t)
+	wal := filepath.Join(t.TempDir(), "wal")
+	args := []string{"-schema", sp, "-rules", rp, "-script", op, "-wal", wal, "-snapshot-every", "1"}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d; %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal: checkpoint gen=2") {
+		t.Errorf("missing checkpoint line:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("post-checkpoint run: exit %d; %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal: recovered gen=2") {
+		t.Errorf("recovery did not resume from the rotated generation:\n%s", out.String())
+	}
+}
+
+func TestRuleexecUnrecoverableLogExitCode(t *testing.T) {
+	sp, rp, op := fixture(t)
+	wal := filepath.Join(t.TempDir(), "wal")
+	args := []string{"-schema", sp, "-rules", rp, "-script", op, "-wal", wal}
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("priming run: exit %d; %s", code, errb.String())
+	}
+	// Trash the snapshot foundation: the directory must be reported
+	// unrecoverable with exit status 7, never silently reset.
+	if err := os.WriteFile(filepath.Join(wal, "snapshot.db"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(args, &out, &errb); code != 7 {
+		t.Fatalf("corrupt snapshot: exit %d, want 7; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unrecoverable write-ahead log") {
+		t.Errorf("stderr missing diagnostic:\n%s", errb.String())
+	}
+}
+
+func TestRuleexecWALFlagValidation(t *testing.T) {
+	sp, rp, op := fixture(t)
+	wal := filepath.Join(t.TempDir(), "wal")
+	var out, errb bytes.Buffer
+	code := run([]string{"-schema", sp, "-rules", rp, "-script", op, "-wal", wal, "-fsync", "bogus"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("bad -fsync should exit 2, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -fsync policy") {
+		t.Errorf("stderr missing policy diagnostic:\n%s", errb.String())
+	}
+}

@@ -1,0 +1,5 @@
+insert into src values (1)
+assert
+insert into src values (2), (3)
+assert
+insert into src values (4)

@@ -1,0 +1,185 @@
+package activerules_test
+
+// Durable chaos: the storage-mutation faults of chaos_test.go and the
+// filesystem faults of the WAL layer drawn from ONE seeded injector, so
+// a single deterministic stream interleaves "the statement's Nth
+// primitive mutation was rejected" with "the process died at the Nth
+// filesystem operation". After every simulated crash the facade-level
+// recovery (System.Recover / OpenDurable) must land on a durable point
+// the reference run actually passed through, and recovering again must
+// find nothing left to repair.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"activerules"
+	"activerules/internal/schema"
+)
+
+const durableDir = "wal"
+
+// seedInserts populates every table through the engine (so the rows
+// flow into the log), mirroring workload.SeedDatabase's (i, i) shape.
+func seedInserts(sch *schema.Schema, n int) string {
+	script := ""
+	for _, t := range sch.TableNames() {
+		for i := 0; i < n; i++ {
+			if script != "" {
+				script += "; "
+			}
+			script += fmt.Sprintf("insert into %s values (%d, %d)", t, i, i)
+		}
+	}
+	return script
+}
+
+// runDurable executes the scenario in a durable session on fsys, with
+// inj wrapping both the mutator and the filesystem. Storage faults are
+// retried per the resilience contract; a durability failure (the
+// simulated crash) ends the run with its error. note, when non-nil,
+// receives the content fingerprint of every durable point.
+func (sc *chaosScenario) runDurable(t *testing.T, inj *activerules.FaultInjector, fsys activerules.WALFS, note func([32]byte)) error {
+	t.Helper()
+	ds, err := sc.sys.OpenDurable(durableDir, activerules.DurableOptions{
+		Engine: activerules.EngineOptions{MaxSteps: 5000, WrapMutator: inj.Wrap},
+		WAL:    activerules.WALOptions{FS: inj.WrapFS(fsys)},
+	})
+	if err != nil {
+		return err
+	}
+	eng := ds.Engine
+	collect := func() {
+		if note != nil {
+			note(eng.DB().Fingerprint())
+		}
+	}
+	collect()
+	scripts := append([]string{seedInserts(sc.g.Schema, 3)}, sc.scripts...)
+	for round, script := range scripts {
+		for attempt := 0; ; attempt++ {
+			if attempt > 200 {
+				t.Fatal("user script retry budget exhausted")
+			}
+			if _, err := eng.ExecUser(script); err != nil {
+				if errors.Is(err, activerules.ErrCrashed) {
+					ds.Close()
+					return err
+				}
+				if !errors.Is(err, activerules.ErrInjectedFault) {
+					t.Fatalf("round %d: non-injected user-script error: %v", round, err)
+				}
+				continue
+			}
+			break
+		}
+		for attempt := 0; ; attempt++ {
+			if attempt > 200 {
+				t.Fatal("assert retry budget exhausted")
+			}
+			if _, err := eng.Assert(); err != nil {
+				if errors.Is(err, activerules.ErrCrashed) {
+					ds.Close()
+					return err
+				}
+				if !errors.Is(err, activerules.ErrInjectedFault) {
+					t.Fatalf("round %d: non-injected assert error: %v", round, err)
+				}
+				continue
+			}
+			break
+		}
+		collect()
+		if round > 0 && sc.commits[round-1] {
+			if err := eng.Commit(); err != nil {
+				ds.Close()
+				return err
+			}
+			collect()
+		}
+		if round == 4 {
+			if err := ds.Checkpoint(); err != nil {
+				ds.Close()
+				return err
+			}
+			collect()
+		}
+	}
+	return ds.Close()
+}
+
+// TestDurableChaosCrashRecovery enumerates every filesystem crash point
+// of durable chaos runs whose storage layer is simultaneously under
+// probabilistic fault injection — both fault domains drawing from the
+// same seeded stream — and checks facade-level recovery after each.
+func TestDurableChaosCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := buildChaosScenario(t, 200+seed)
+
+			// Probe: storage faults armed (and survived via retries), no
+			// fs faults. Records the durable-point fingerprints and the
+			// number of fs crash points.
+			probe := activerules.NewFaultInjector(activerules.FaultConfig{P: 0.25, Seed: seed})
+			ref := map[[32]byte]bool{}
+			if err := sc.runDurable(t, probe, activerules.NewMemFS(), func(fp [32]byte) { ref[fp] = true }); err != nil {
+				t.Fatalf("probe run: %v", err)
+			}
+			total := probe.FSCalls()
+			if total < 10 || probe.Faults() == 0 {
+				t.Fatalf("weak scenario: %d fs ops, %d storage faults", total, probe.Faults())
+			}
+
+			for k := 1; k <= total; k++ {
+				fsys := activerules.NewMemFS()
+				inj := activerules.NewFaultInjector(activerules.FaultConfig{
+					P: 0.25, Seed: seed, FSCrashAt: k,
+				})
+				runErr := sc.runDurable(t, inj, fsys, nil)
+				if !inj.Crashed() {
+					t.Fatalf("crash point %d/%d never reached (err: %v)", k, total, runErr)
+				}
+				if runErr == nil {
+					t.Errorf("crash at %d/%d surfaced no error", k, total)
+				}
+
+				// Facade recovery: read-only reconstruction must be a
+				// durable point of the reference run.
+				db, _, err := sc.sys.Recover(durableDir, fsys)
+				if err != nil {
+					t.Fatalf("crash at %d/%d: Recover: %v", k, total, err)
+				}
+				fp := db.Fingerprint()
+				if !ref[fp] {
+					t.Fatalf("crash at %d/%d: recovered state is not a durable point of the reference run", k, total)
+				}
+
+				// Idempotency through the facade: the first OpenDurable
+				// repairs the log; a second finds nothing to truncate.
+				for pass := 0; pass < 2; pass++ {
+					ds, err := sc.sys.OpenDurable(durableDir, activerules.DurableOptions{
+						WAL: activerules.WALOptions{FS: fsys},
+					})
+					if err != nil {
+						t.Fatalf("crash at %d/%d: open pass %d: %v", k, total, pass, err)
+					}
+					if got := ds.Engine.DB().Fingerprint(); got != fp {
+						t.Fatalf("crash at %d/%d: open pass %d diverged from Recover", k, total, pass)
+					}
+					if pass == 1 && ds.Recovery().TruncatedBytes != 0 {
+						t.Fatalf("crash at %d/%d: second open still truncating", k, total)
+					}
+					if err := ds.Close(); err != nil {
+						t.Fatalf("crash at %d/%d: close pass %d: %v", k, total, pass, err)
+					}
+				}
+			}
+		})
+	}
+}

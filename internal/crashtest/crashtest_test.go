@@ -1,0 +1,248 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"activerules/internal/faultinject"
+	"activerules/internal/wal"
+)
+
+// hashSet indexes the reference run's durable-point hashes.
+func hashSet(hashes [][32]byte) map[[32]byte]bool {
+	set := make(map[[32]byte]bool, len(hashes))
+	for _, h := range hashes {
+		set[h] = true
+	}
+	return set
+}
+
+// checkRecovery asserts the two core invariants against a crashed (or
+// faulted) filesystem: the recovered state is one of the reference
+// run's durable points, and recovery is idempotent — a second full open
+// finds a clean log and the same state.
+func checkRecovery(t *testing.T, sc *Scenario, fsys wal.FS, ref map[[32]byte]bool, label string) {
+	t.Helper()
+	// Read-only reconstruction first: a pure crash must never be
+	// unrecoverable.
+	db, _, err := wal.Recover(Dir, sc.G.Schema, fsys)
+	if err != nil {
+		t.Fatalf("%s: recover: %v", label, err)
+	}
+	h0 := FreshHash(sc.G.Set, db)
+	if !ref[h0] {
+		t.Fatalf("%s: recovered state is not a committed prefix of the reference run", label)
+	}
+	// First full open performs any truncation; it must land on the same
+	// state.
+	d1, err := wal.Open(Dir, sc.G.Schema, wal.Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("%s: first open: %v", label, err)
+	}
+	h1 := FreshHash(sc.G.Set, d1.State())
+	if err := d1.Close(); err != nil {
+		t.Fatalf("%s: close after first open: %v", label, err)
+	}
+	// Second open: nothing left to truncate, same state again.
+	d2, err := wal.Open(Dir, sc.G.Schema, wal.Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("%s: second open: %v", label, err)
+	}
+	h2 := FreshHash(sc.G.Set, d2.State())
+	trunc := d2.Info().TruncatedBytes
+	if err := d2.Close(); err != nil {
+		t.Fatalf("%s: close after second open: %v", label, err)
+	}
+	if h1 != h0 || h2 != h0 {
+		t.Fatalf("%s: recovery not idempotent (read-only, first, second opens disagree)", label)
+	}
+	if trunc != 0 {
+		t.Fatalf("%s: second recovery truncated %d bytes — first open left a dirty tail", label, trunc)
+	}
+}
+
+// enumerateCrashes runs the scenario once per filesystem operation,
+// crashing at exactly that operation, and checks recovery after each.
+func enumerateCrashes(t *testing.T, sc *Scenario, seed int64) {
+	t.Helper()
+	hashes, ops, err := Probe(sc)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if ops < 10 {
+		t.Fatalf("scenario has only %d fs operations — too small to be meaningful", ops)
+	}
+	ref := hashSet(hashes)
+	for k := 1; k <= ops; k++ {
+		fsys := wal.NewMemFS()
+		inj := faultinject.New(faultinject.Config{FSCrashAt: k, Seed: seed<<8 + int64(k)})
+		runErr := RunDurable(sc, inj.WrapFS(fsys), wal.Options{}, nil)
+		if !inj.Crashed() {
+			t.Fatalf("crash point %d/%d never reached (run err: %v)", k, ops, runErr)
+		}
+		if runErr == nil {
+			t.Errorf("crash at %d/%d surfaced no error to the session", k, ops)
+		} else if !errors.Is(runErr, faultinject.ErrCrashed) {
+			t.Errorf("crash at %d/%d surfaced %v, want ErrCrashed in the chain", k, ops, runErr)
+		}
+		checkRecovery(t, sc, fsys, ref, fmt.Sprintf("crash at %d/%d", k, ops))
+	}
+}
+
+func TestCrashPointEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= NumSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc, err := Build(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enumerateCrashes(t, sc, seed)
+		})
+	}
+}
+
+func TestCrashPointEnumerationRollback(t *testing.T) {
+	sc, err := BuildRollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enumerateCrashes(t, sc, 999)
+}
+
+// TestFailStopEnumeration fails (without crash semantics) every fs
+// operation in turn: the operation is rejected, the log goes sticky,
+// and whatever the session managed to make durable must still be a
+// committed prefix.
+func TestFailStopEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= NumFaultSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc, err := Build(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes, ops, err := Probe(sc)
+			if err != nil {
+				t.Fatalf("probe: %v", err)
+			}
+			ref := hashSet(hashes)
+			for k := 1; k <= ops; k++ {
+				fsys := wal.NewMemFS()
+				inj := faultinject.New(faultinject.Config{FSFailAt: k, Seed: seed})
+				runErr := RunDurable(sc, inj.WrapFS(fsys), wal.Options{}, nil)
+				// A failed best-effort operation (stale-log removal) is
+				// absorbed; anything else must surface. Either way the
+				// durable state stays a committed prefix.
+				if runErr != nil && !errors.Is(runErr, faultinject.ErrInjected) {
+					t.Errorf("fail at %d/%d: unexpected error class: %v", k, ops, runErr)
+				}
+				checkRecovery(t, sc, fsys, ref, fmt.Sprintf("fail at %d/%d", k, ops))
+			}
+		})
+	}
+}
+
+// TestShortWriteEnumeration turns every write into a torn write (a
+// random prefix reaches the file, then an error): the torn frame must
+// be truncated by recovery, never replayed, never fatal.
+func TestShortWriteEnumeration(t *testing.T) {
+	for seed := int64(1); seed <= NumFaultSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc, err := Build(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes, ops, err := Probe(sc)
+			if err != nil {
+				t.Fatalf("probe: %v", err)
+			}
+			ref := hashSet(hashes)
+			for k := 1; k <= ops; k++ {
+				fsys := wal.NewMemFS()
+				inj := faultinject.New(faultinject.Config{FSShortWriteAt: k, Seed: seed<<8 + int64(k)})
+				// Points that land on non-write operations pass through
+				// untouched; the run then completes and recovery must see
+				// its final state. Either way: prefix-consistent.
+				_ = RunDurable(sc, inj.WrapFS(fsys), wal.Options{}, nil)
+				checkRecovery(t, sc, fsys, ref, fmt.Sprintf("short write at %d/%d", k, ops))
+			}
+		})
+	}
+}
+
+// TestDeliberateLogCorruption flips bytes in a committed log and
+// asserts the damage is detected and truncated — recovery lands on a
+// committed prefix and never replays a damaged record. Snapshot
+// corruption, by contrast, must be reported as unrecoverable.
+func TestDeliberateLogCorruption(t *testing.T) {
+	sc, err := Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wal.NewMemFS()
+	hashes := [][32]byte{}
+	if err := RunDurable(sc, base, wal.Options{}, func(h [32]byte) { hashes = append(hashes, h) }); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	ref := hashSet(hashes)
+	_, info, err := wal.Recover(Dir, sc.G.Schema, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logName := fmt.Sprintf("%s/wal-%06d.log", Dir, info.Gen)
+	logData, err := base.ReadFile(logName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapData, err := base.ReadFile(Dir + "/snapshot.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rebuild := func(log, snap []byte) *wal.MemFS {
+		fsys := wal.NewMemFS()
+		if err := fsys.MkdirAll(Dir); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range map[string][]byte{logName: log, Dir + "/snapshot.db": snap} {
+			f, err := fsys.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(data); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fsys
+	}
+
+	for off := 0; off < len(logData); off += CorruptStride {
+		bad := append([]byte(nil), logData...)
+		bad[off] ^= 0x55
+		fsys := rebuild(bad, snapData)
+		// A flip in the opening snapshot marker truncates the whole log
+		// (recovery = snapshot state); any other flip truncates at the
+		// damaged record. Both are committed prefixes.
+		checkRecovery(t, sc, fsys, ref, fmt.Sprintf("log flip at %d", off))
+	}
+	for off := 0; off < len(snapData); off += CorruptStride {
+		bad := append([]byte(nil), snapData...)
+		bad[off] ^= 0x55
+		fsys := rebuild(logData, bad)
+		if _, _, err := wal.Recover(Dir, sc.G.Schema, fsys); !errors.Is(err, wal.ErrUnrecoverable) {
+			t.Fatalf("snapshot flip at %d: err = %v, want ErrUnrecoverable", off, err)
+		}
+	}
+}

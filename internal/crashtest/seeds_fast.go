@@ -1,0 +1,17 @@
+//go:build !slowcrash
+
+package crashtest
+
+// Seed budgets for the default (tier-1) run. The nightly slowcrash
+// build replaces these with the full enumeration (see seeds_slow.go).
+const (
+	// NumSeeds is how many generated scenarios get full crash-point
+	// enumeration.
+	NumSeeds = 20
+	// NumFaultSeeds is how many scenarios get the fail-stop and
+	// short-write enumerations (cheaper invariants, fewer seeds).
+	NumFaultSeeds = 6
+	// CorruptStride samples every Nth byte offset in the
+	// deliberate-corruption sweep.
+	CorruptStride = 7
+)

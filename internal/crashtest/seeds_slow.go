@@ -1,0 +1,10 @@
+//go:build slowcrash
+
+package crashtest
+
+// Seed budgets for the nightly full enumeration (-tags slowcrash).
+const (
+	NumSeeds      = 100
+	NumFaultSeeds = 40
+	CorruptStride = 1
+)

@@ -93,6 +93,30 @@ type Options struct {
 	// of 256, capped at MaxSteps. Tracking costs one state fingerprint
 	// per step, which is why it only runs under budget pressure.
 	LivelockWindow int
+	// Journal, when non-nil, receives transaction boundaries for
+	// write-ahead logging (internal/wal): Commit at every quiescent
+	// assertion point and from Engine.Commit (followed by Begin), Abort
+	// when a rollback action fires. Mutation-level records flow
+	// separately, through the database's storage.Observer hook. A
+	// journal failure surfaces as a *DurabilityError; the in-memory
+	// state is unaffected. Clone never propagates the journal: explorer
+	// forks are speculative and must not write durable records.
+	Journal Journal
+}
+
+// Journal receives transaction boundaries for durable logging. All
+// methods may be called only between considerations; implementations
+// need not be safe for concurrent use (the engine is single-threaded).
+type Journal interface {
+	// Begin marks a new engine-transaction start: the point a later
+	// Abort rolls back to.
+	Begin() error
+	// Commit marks a durable point: everything logged since the previous
+	// durable point must survive a crash.
+	Commit() error
+	// Abort marks a rollback action: the durable state reverts to the
+	// last Begin.
+	Abort() error
 }
 
 // Engine processes rules against a database. It is single-threaded.
@@ -395,9 +419,13 @@ func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, 
 }
 
 // rollback restores the transaction-start snapshot and clears all rule
-// bookkeeping.
+// bookkeeping. The mutation observer survives the database swap (clones
+// drop it): the WAL must keep seeing mutations after a rollback, which
+// its abort record has already neutralized.
 func (e *Engine) rollback() {
+	obs := e.db.Observer()
 	e.db = e.snapshot.Clone()
+	e.db.SetObserver(obs)
 	e.log.Truncate()
 	for i := range e.marks {
 		e.marks[i] = 0
@@ -466,7 +494,7 @@ func (e *Engine) AssertContext(ctx context.Context) (Result, error) {
 			e.assertStart = e.log.Mark()
 			e.inFlight = false
 			e.trace(TraceEvent{Kind: "assert-end", Considered: res.Considered, Fired: res.Fired})
-			return res, nil
+			return res, e.journal("commit", Journal.Commit)
 		}
 		// Under budget pressure, watch for a state recurrence: revisiting
 		// an execution-graph state proves an infinite path exists, which
@@ -524,16 +552,31 @@ func (e *Engine) AssertContext(ctx context.Context) (Result, error) {
 		res.Observables = append(res.Observables, events...)
 		if rolled {
 			res.RolledBack = true
-			return res, nil
+			return res, e.journal("abort", Journal.Abort)
 		}
 	}
+}
+
+// journal invokes one transaction-boundary hook on the configured
+// journal, wrapping any failure as a *DurabilityError. A nil journal is
+// a no-op.
+func (e *Engine) journal(op string, call func(Journal) error) error {
+	if e.opts.Journal == nil {
+		return nil
+	}
+	if err := call(e.opts.Journal); err != nil {
+		return &DurabilityError{Op: op, Cause: err}
+	}
+	return nil
 }
 
 // Commit ends the transaction: the current state becomes the new
 // rollback snapshot and the transition log is cleared. Committing while
 // processing is suspended (InFlight) abandons the unprocessed remainder
-// of the transition.
-func (e *Engine) Commit() {
+// of the transition. With a journal configured, Commit writes a durable
+// point followed by a new transaction start; a journal failure returns
+// a *DurabilityError (the in-memory commit still happened).
+func (e *Engine) Commit() error {
 	e.snapshot = e.db.Clone()
 	e.log.Truncate()
 	for i := range e.marks {
@@ -541,16 +584,25 @@ func (e *Engine) Commit() {
 	}
 	e.assertStart = 0
 	e.inFlight = false
+	if err := e.journal("commit", Journal.Commit); err != nil {
+		return err
+	}
+	return e.journal("begin", Journal.Begin)
 }
 
 // Clone returns an independent copy of the engine (database, log, marks,
 // snapshot). The model checker forks engines to explore every choice.
+// The clone carries no journal: forks are speculative, and their
+// mutations must never reach the durable log (db.Clone likewise drops
+// the observer).
 func (e *Engine) Clone() *Engine {
+	opts := e.opts
+	opts.Journal = nil
 	ne := &Engine{
 		set:         e.set,
 		db:          e.db.Clone(),
 		log:         e.log.Clone(),
-		opts:        e.opts,
+		opts:        opts,
 		marks:       make([]int, len(e.marks)),
 		snapshot:    e.snapshot, // snapshot is never mutated; safe to share
 		assertStart: e.assertStart,

@@ -23,6 +23,11 @@ import (
 //   - *CancelledError — the AssertContext context was cancelled or its
 //     deadline expired between considerations. Satisfies errors.Is for
 //     the underlying context error.
+//   - *DurabilityError — the configured Journal (Options.Journal, the
+//     write-ahead log) failed at a transaction boundary. The in-memory
+//     state is exactly what a nil-journal engine would have; only the
+//     durability promise is broken, and it stays broken (the WAL's
+//     errors are sticky) until the caller reopens the log.
 //
 // After any of these, the engine is in a well-defined state: every
 // completed consideration is durable, the failed or unstarted work is
@@ -110,3 +115,23 @@ func (e *CancelledError) Error() string {
 
 // Unwrap exposes the context error for errors.Is.
 func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// DurabilityError reports that the configured Journal failed at a
+// transaction boundary (commit, begin, or abort record). The in-memory
+// engine state is unaffected — the transaction semantics already took
+// effect — but the durable log can no longer honor them: callers should
+// stop relying on the session's durability and recover from the WAL
+// directory.
+type DurabilityError struct {
+	// Op is the boundary that failed: "commit", "begin", or "abort".
+	Op string
+	// Cause is the underlying journal error.
+	Cause error
+}
+
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("engine: durability failure at %s: %v", e.Op, e.Cause)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As.
+func (e *DurabilityError) Unwrap() error { return e.Cause }

@@ -391,3 +391,79 @@ func TestTraceTerminalEvents(t *testing.T) {
 		t.Errorf("exec error must end with assert-error: %v (err %v)", kinds, err)
 	}
 }
+
+// TestNestedSavepointPanicContainment exercises panic containment while
+// a caller-held savepoint is already open: the engine's per-action
+// savepoint nests inside the caller's, the recovered panic rolls back
+// only the action layer, and the caller's savepoint remains fully
+// functional for both its rollback and release legs afterwards.
+func TestNestedSavepointPanicContainment(t *testing.T) {
+	set, db := mkSet(t, "table t (v int)\ntable u (v int)", `
+create rule r on t when inserted then insert into u select v from inserted`)
+	inj := faultinject.New(faultinject.Config{PanicAt: 4})
+	e := New(set, db, Options{WrapMutator: inj.Wrap})
+
+	// Baseline outside any savepoint: calls 1 (user insert) and 2
+	// (action insert).
+	if _, err := e.ExecUser("insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	base := db.Fingerprint()
+
+	// Rollback leg: user transaction in a savepoint; the rule action
+	// (call 4) panics inside the engine's own nested savepoint.
+	outer := db.Savepoint()
+	if _, err := e.ExecUser("insert into t values (2)"); err != nil { // call 3
+		t.Fatal(err)
+	}
+	wantState, _, _ := engineState(e)
+	_, err := e.Assert()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("nested panic not contained as *PanicError: %v", err)
+	}
+	if gotState, _, _ := engineState(e); gotState != wantState {
+		t.Error("state not restored after panic inside nested savepoint")
+	}
+	inj.Disarm()
+	if _, err := e.Assert(); err != nil {
+		t.Fatalf("resume after nested panic: %v", err)
+	}
+	if db.Table("u").Len() != 2 {
+		t.Fatalf("u rows = %d, want 2 after resumed action", db.Table("u").Len())
+	}
+	db.RollbackTo(outer)
+	if db.Fingerprint() != base {
+		t.Fatal("outer savepoint rollback did not restore the pre-savepoint state exactly")
+	}
+
+	// Release leg: the same cycle fault-free, committed via Release;
+	// the mutations must stick.
+	outer2 := db.Savepoint()
+	if _, err := e.ExecUser("insert into t values (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	db.Release(outer2)
+	released := db.Fingerprint()
+	if released == base {
+		t.Fatal("released savepoint lost its mutations")
+	}
+
+	// Depth bookkeeping: release must have returned the db to depth
+	// zero, so a fresh savepoint cycle rolls back to exactly the
+	// released state — a stale undo log would drag it further back.
+	sp := db.Savepoint()
+	if _, err := e.ExecUser("insert into t values (4)"); err != nil {
+		t.Fatal(err)
+	}
+	db.RollbackTo(sp)
+	if db.Fingerprint() != released {
+		t.Fatal("post-release savepoint cycle did not restore the released state")
+	}
+}

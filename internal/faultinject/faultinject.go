@@ -39,6 +39,26 @@ type Config struct {
 	// drawn from a deterministic generator seeded with Seed.
 	P    float64
 	Seed int64
+
+	// Filesystem fault knobs, honored by WrapFS (see fs.go). The fs call
+	// counter is independent of the mutation counter; the random stream
+	// is shared.
+
+	// FSFailAt makes the Nth state-changing filesystem operation
+	// (1-based) fail without performing it; 0 disables.
+	FSFailAt int
+	// FSShortWriteAt makes the Nth filesystem operation, which must be a
+	// write, transfer only a random prefix of its buffer before failing;
+	// 0 disables.
+	FSShortWriteAt int
+	// FSCrashAt simulates a process crash at the Nth filesystem
+	// operation: the operation does not happen, the wrapped filesystem
+	// suffers power-loss semantics (unsynced tails torn), and every
+	// later operation fails with ErrCrashed; 0 disables.
+	FSCrashAt int
+	// FSP makes each filesystem operation fail independently with this
+	// probability.
+	FSP float64
 }
 
 // Injector decides, deterministically, which mutation calls fail. One
@@ -51,6 +71,11 @@ type Injector struct {
 	calls  int
 	faults int
 	armed  bool
+
+	// filesystem fault state (fs.go)
+	fsCalls int
+	crashed bool
+	fs      any // the FS most recently passed to WrapFS
 }
 
 // New returns an armed injector for the configuration.

@@ -1,0 +1,104 @@
+package faultinject_test
+
+import (
+	"errors"
+	"testing"
+
+	"activerules/internal/faultinject"
+	"activerules/internal/schema"
+	"activerules/internal/storage"
+	"activerules/internal/wal"
+)
+
+func fsTestSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustParse("table t (v int)")
+}
+
+// writeWorkload opens a durable session on fsys and commits rows until
+// an error surfaces, returning how many commits succeeded.
+func writeWorkload(t *testing.T, fsys wal.FS, rows int) (committed int, err error) {
+	t.Helper()
+	d, err := wal.Open("w", fsTestSchema(t), wal.Options{FS: fsys})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < rows; i++ {
+		db := d.State()
+		db.SetObserver(d)
+		if _, err := db.Insert("t", []storage.Value{storage.IntV(int64(i))}); err != nil {
+			d.Close()
+			return committed, err
+		}
+		if err := d.Commit(); err != nil {
+			d.Close()
+			return committed, err
+		}
+		committed++
+	}
+	// Close flushes and syncs: its error (the WAL's sticky error) counts.
+	return committed, d.Close()
+}
+
+func TestWrapFSCountsAndFails(t *testing.T) {
+	// Probe: count fs operations of a fault-free run.
+	probe := faultinject.New(faultinject.Config{})
+	probe.Disarm()
+	if n, err := writeWorkload(t, probe.WrapFS(wal.NewMemFS()), 5); err != nil || n != 5 {
+		t.Fatalf("probe: committed %d, err %v", n, err)
+	}
+	ops := probe.FSCalls()
+	if ops < 7 { // open, initial write+sync, then write+sync per commit
+		t.Fatalf("probe counted only %d fs ops", ops)
+	}
+	// Every single operation, failed in turn, surfaces as ErrInjected
+	// somewhere in the session — never a panic, never silence.
+	for k := 1; k <= ops; k++ {
+		in := faultinject.New(faultinject.Config{FSFailAt: k})
+		_, err := writeWorkload(t, in.WrapFS(wal.NewMemFS()), 5)
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Errorf("FSFailAt=%d: err = %v, want ErrInjected", k, err)
+		}
+	}
+}
+
+func TestWrapFSCrashFreezesEverything(t *testing.T) {
+	fsys := wal.NewMemFS()
+	in := faultinject.New(faultinject.Config{FSCrashAt: 4, Seed: 1})
+	wrapped := in.WrapFS(fsys)
+	_, err := writeWorkload(t, wrapped, 5)
+	if !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not marked crashed")
+	}
+	// Every subsequent operation on the wrapped fs fails too.
+	if _, err := wrapped.Create("w/x"); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Errorf("post-crash create: %v", err)
+	}
+	if err := wrapped.Remove("w/x"); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Errorf("post-crash remove: %v", err)
+	}
+	// The underlying fs recovered cleanly: some committed prefix.
+	if _, _, err := wal.Recover("w", fsTestSchema(t), fsys); err != nil {
+		t.Errorf("recovery after crash: %v", err)
+	}
+}
+
+func TestWrapFSShortWrite(t *testing.T) {
+	// A short write at every write point must never corrupt recovery:
+	// the torn frame is truncated away.
+	for k := 1; k <= 12; k++ {
+		fsys := wal.NewMemFS()
+		in := faultinject.New(faultinject.Config{FSShortWriteAt: k, Seed: int64(k)})
+		_, werr := writeWorkload(t, in.WrapFS(fsys), 5)
+		db, _, err := wal.Recover("w", fsTestSchema(t), fsys)
+		if err != nil {
+			t.Fatalf("FSShortWriteAt=%d: recover: %v (workload err %v)", k, err, werr)
+		}
+		if db == nil {
+			t.Fatalf("FSShortWriteAt=%d: nil recovered state", k)
+		}
+	}
+}

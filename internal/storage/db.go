@@ -23,7 +23,37 @@ type DB struct {
 	// compaction so undo can restore exact iteration order.
 	undo    []undoEntry
 	spDepth int
+
+	// obs, when non-nil, receives every physical mutation applied to the
+	// database (see Observer). Clones never carry the observer.
+	obs Observer
 }
+
+// Observer receives every physical mutation applied to a DB, in
+// application order — including the compensating mutations RollbackTo
+// applies when reversing a savepoint. A write-ahead log attached here
+// (internal/wal) is therefore a pure redo log: replaying the observed
+// sequence onto the same starting state reproduces the exact contents
+// and iteration order, with savepoint rollbacks appearing as mutation/
+// compensation pairs that cancel out.
+//
+// Observers must not mutate the database from within a callback.
+type Observer interface {
+	// ObserveInsert reports an applied insert, with the assigned
+	// identity and the coerced column values.
+	ObserveInsert(table string, id TupleID, vals []Value)
+	// ObserveDelete reports an applied delete.
+	ObserveDelete(table string, id TupleID)
+	// ObserveUpdate reports an applied single-column update with the
+	// coerced new value.
+	ObserveUpdate(table string, id TupleID, col string, v Value)
+}
+
+// SetObserver attaches (or, with nil, detaches) the mutation observer.
+func (db *DB) SetObserver(o Observer) { db.obs = o }
+
+// Observer returns the attached mutation observer, or nil.
+func (db *DB) Observer() Observer { return db.obs }
 
 // undoKind identifies the primitive mutation an undoEntry reverses.
 type undoKind int
@@ -65,16 +95,28 @@ func (db *DB) Savepoint() Savepoint {
 
 // RollbackTo reverses every mutation performed since the savepoint was
 // taken, restoring contents, iteration order, and the identity counter.
+// Each reversal is reported to the observer as the compensating physical
+// mutation it applies (an undone insert observes as a delete, and so
+// on), keeping any attached redo log replayable in sequence.
 func (db *DB) RollbackTo(sp Savepoint) {
 	for i := len(db.undo) - 1; i >= sp.undoLen; i-- {
 		u := db.undo[i]
 		switch u.kind {
 		case undoInsert:
 			u.t.unInsert(u.id)
+			if db.obs != nil {
+				db.obs.ObserveDelete(u.t.def.Name, u.id)
+			}
 		case undoDelete:
 			u.t.unDelete(u.row)
+			if db.obs != nil {
+				db.obs.ObserveInsert(u.t.def.Name, u.row.ID, u.row.Vals)
+			}
 		case undoUpdate:
 			u.t.rows[u.id].Vals[u.col] = u.old
+			if db.obs != nil {
+				db.obs.ObserveUpdate(u.t.def.Name, u.id, u.t.def.Columns[u.col].Name, u.old)
+			}
 		}
 	}
 	db.undo = db.undo[:sp.undoLen]
@@ -134,7 +176,62 @@ func (db *DB) Insert(table string, vals []Value) (TupleID, error) {
 	if db.spDepth > 0 {
 		db.undo = append(db.undo, undoEntry{kind: undoInsert, t: t, id: id})
 	}
+	if db.obs != nil {
+		db.obs.ObserveInsert(t.def.Name, id, coerced)
+	}
 	return id, nil
+}
+
+// NextID returns the next tuple identity the database would allocate.
+func (db *DB) NextID() TupleID { return db.nextID }
+
+// BumpNextID raises the identity allocator to at least n. Used when
+// restoring a database from a snapshot, so identities allocated after
+// recovery never collide with restored ones. It never lowers the
+// allocator.
+func (db *DB) BumpNextID(n TupleID) {
+	if n > db.nextID {
+		db.nextID = n
+	}
+}
+
+// InsertWithID adds a tuple under an explicit identity, for restoring a
+// database from a snapshot or a redo log. Values are coerced like
+// Insert. If the identity still occupies a tombstoned slot of the
+// table's iteration order (it was deleted earlier in the same replay),
+// it is revived in place, reproducing the iteration order a savepoint
+// rollback restored in the original run. The identity allocator is
+// bumped past id. Inserting an identity that is currently live is an
+// error.
+func (db *DB) InsertWithID(table string, id TupleID, vals []Value) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("storage: no table %q", table)
+	}
+	if len(vals) != len(t.def.Columns) {
+		return fmt.Errorf("storage: insert into %s: %d values for %d columns",
+			t.def.Name, len(vals), len(t.def.Columns))
+	}
+	if t.Get(id) != nil {
+		return fmt.Errorf("storage: insert into %s: tuple %d already exists", t.def.Name, id)
+	}
+	coerced := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := v.Coerce(t.def.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("storage: insert into %s.%s: %v", t.def.Name, t.def.Columns[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	t.insertPreservingOrder(&Tuple{ID: id, Vals: coerced})
+	db.BumpNextID(id + 1)
+	if db.spDepth > 0 {
+		db.undo = append(db.undo, undoEntry{kind: undoInsert, t: t, id: id})
+	}
+	if db.obs != nil {
+		db.obs.ObserveInsert(t.def.Name, id, coerced)
+	}
+	return nil
 }
 
 // MustInsert is Insert, panicking on error. Intended for tests/examples.
@@ -160,6 +257,9 @@ func (db *DB) Delete(table string, id TupleID) *Tuple {
 	t.delete(id, db.spDepth == 0)
 	if db.spDepth > 0 {
 		db.undo = append(db.undo, undoEntry{kind: undoDelete, t: t, id: id, row: tu})
+	}
+	if db.obs != nil {
+		db.obs.ObserveDelete(t.def.Name, id)
 	}
 	return tu
 }
@@ -188,14 +288,19 @@ func (db *DB) Update(table string, id TupleID, col string, v Value) (Value, erro
 	if db.spDepth > 0 {
 		db.undo = append(db.undo, undoEntry{kind: undoUpdate, t: t, id: id, col: ci, old: old})
 	}
+	if db.obs != nil {
+		db.obs.ObserveUpdate(t.def.Name, id, t.def.Columns[ci].Name, cv)
+	}
 	return old, nil
 }
 
 // Clone returns a deep copy of the database sharing no mutable state with
 // the original. Tuple identities are preserved, so transitions recorded
 // against the original remain meaningful against the clone. Savepoint
-// bookkeeping is not carried over: the clone captures the current
-// contents with no savepoints active.
+// bookkeeping and any attached Observer are not carried over: the clone
+// captures the current contents with no savepoints active, and mutations
+// of the clone are nobody's business but the clone's (the execution-graph
+// explorer forks thousands of speculative copies).
 func (db *DB) Clone() *DB {
 	nd := &DB{sch: db.sch, tables: make(map[string]*Table, len(db.tables)), nextID: db.nextID}
 	for name, t := range db.tables {

@@ -88,6 +88,25 @@ func (t *Table) insert(tu *Tuple) {
 	t.nlived++
 }
 
+// insertPreservingOrder is insert for redo-log replay: if the identity
+// still has a tombstoned slot in the order slice (it was deleted earlier
+// in the replay and is now being re-inserted by a savepoint-rollback
+// compensation record), it is revived in place, matching what unDelete
+// did in the original run. The tombstone scan only runs when tombstones
+// exist at all.
+func (t *Table) insertPreservingOrder(tu *Tuple) {
+	if len(t.order) > t.nlived {
+		for _, id := range t.order {
+			if id == tu.ID {
+				t.rows[tu.ID] = tu
+				t.nlived++
+				return
+			}
+		}
+	}
+	t.insert(tu)
+}
+
 func (t *Table) delete(id TupleID, compact bool) bool {
 	if _, ok := t.rows[id]; !ok {
 		return false

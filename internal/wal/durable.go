@@ -1,0 +1,390 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"activerules/internal/schema"
+	"activerules/internal/storage"
+)
+
+// ErrUnrecoverable marks a WAL directory whose durable state cannot be
+// reconstructed: a corrupt snapshot file, a log whose opening snapshot
+// marker does not match the snapshot it sits next to, or a committed
+// record that fails to replay. Mid-log corruption is NOT unrecoverable
+// — the torn-tail rule truncates it away — this error means the trusted
+// foundation itself is bad. ruleexec maps it to exit code 7.
+var ErrUnrecoverable = errors.New("wal: unrecoverable log")
+
+const snapName = "snapshot.db"
+
+func logName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
+
+// RecoveryInfo summarizes what Open (or Recover) found and did.
+type RecoveryInfo struct {
+	// Gen is the active generation after recovery.
+	Gen uint64
+	// SnapshotLoaded reports whether a snapshot file was restored (false
+	// means the directory was fresh or pre-first-checkpoint).
+	SnapshotLoaded bool
+	// Fresh reports that the directory held no durable state at all.
+	Fresh bool
+	// RecordsScanned counts well-formed log records read.
+	RecordsScanned int
+	// TxCommitted counts commit records honored.
+	TxCommitted int
+	// MutationsReplayed counts mutation records applied to the state.
+	MutationsReplayed int
+	// Aborts counts abort records honored (each rolled the replay back
+	// to its transaction's begin record).
+	Aborts int
+	// TailDiscarded counts well-formed mutation records discarded
+	// because no commit record followed them (the uncommitted tail).
+	TailDiscarded int
+	// TruncatedBytes is how many trailing log bytes were cut at the
+	// first torn or corrupt record (0 for a clean log).
+	TruncatedBytes int64
+}
+
+// DurableDB binds an in-memory database to a WAL directory. It is both
+// the storage.Observer that turns applied mutations into log records
+// and the engine Journal that turns transaction boundaries into
+// begin/commit/abort records — attach it with SetObserver on the
+// recovered database and Options.Journal on the engine. Routing both
+// through DurableDB (rather than the underlying *Log) keeps them valid
+// across checkpoint rotation, which swaps the log generation.
+type DurableDB struct {
+	fsys FS
+	dir  string
+	opts Options
+	sch  *schema.Schema
+	gen  uint64
+	log  *Log
+	st   *storage.DB
+	info RecoveryInfo
+}
+
+// Open recovers the durable state in dir (creating it if needed) and
+// opens the log for appending. The recovered database is available via
+// State; the engine takes ownership of it. Mid-log torn or corrupt
+// records truncate the log; a corrupt snapshot or mismatched
+// marker/snapshot pair returns ErrUnrecoverable.
+func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
+	opts = opts.withDefaults()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	rec, err := recoverState(fsys, dir, sch)
+	if err != nil {
+		return nil, err
+	}
+	logPath := join(dir, logName(rec.info.Gen))
+	if rec.info.TruncatedBytes > 0 || (rec.needMarker && rec.logLen > 0) {
+		if err := fsys.Truncate(logPath, int64(rec.goodLen)); err != nil {
+			return nil, err
+		}
+	}
+	l, err := openLog(fsys, logPath, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rec.needMarker {
+		l.append(Record{Kind: RecSnapshot, Gen: rec.info.Gen, FP: rec.db.Fingerprint()})
+	}
+	// Every open starts a new engine transaction.
+	l.append(Record{Kind: RecBegin})
+	l.flush()
+	if opts.Sync != SyncNever {
+		l.sync()
+	}
+	if l.err != nil {
+		l.f.Close()
+		return nil, l.err
+	}
+	d := &DurableDB{fsys: fsys, dir: dir, opts: opts, sch: sch, gen: rec.info.Gen, log: l, st: rec.db, info: rec.info}
+	d.removeStale()
+	return d, nil
+}
+
+// Recover reconstructs the durable state in dir without modifying
+// anything — no truncation, no log writes. fsys may be nil for the real
+// filesystem. The returned RecoveryInfo reports what a subsequent Open
+// would do (TruncatedBytes counts bytes Open would cut).
+func Recover(dir string, sch *schema.Schema, fsys FS) (*storage.DB, RecoveryInfo, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	rec, err := recoverState(fsys, dir, sch)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	return rec.db, rec.info, nil
+}
+
+// State returns the recovered database. Valid immediately after Open;
+// the caller attaches it to an engine (with SetObserver(d)) and owns it
+// from then on.
+func (d *DurableDB) State() *storage.DB { return d.st }
+
+// Info returns the recovery summary from Open.
+func (d *DurableDB) Info() RecoveryInfo { return d.info }
+
+// Gen returns the active log generation.
+func (d *DurableDB) Gen() uint64 { return d.gen }
+
+// Err returns the log's sticky error, if any.
+func (d *DurableDB) Err() error { return d.log.Err() }
+
+// Begin implements the engine Journal interface.
+func (d *DurableDB) Begin() error { return d.log.Begin() }
+
+// Commit implements the engine Journal interface.
+func (d *DurableDB) Commit() error { return d.log.Commit() }
+
+// Abort implements the engine Journal interface.
+func (d *DurableDB) Abort() error { return d.log.Abort() }
+
+// ObserveInsert implements storage.Observer.
+func (d *DurableDB) ObserveInsert(table string, id storage.TupleID, vals []storage.Value) {
+	d.log.ObserveInsert(table, id, vals)
+}
+
+// ObserveDelete implements storage.Observer.
+func (d *DurableDB) ObserveDelete(table string, id storage.TupleID) {
+	d.log.ObserveDelete(table, id)
+}
+
+// ObserveUpdate implements storage.Observer.
+func (d *DurableDB) ObserveUpdate(table string, id storage.TupleID, col string, v storage.Value) {
+	d.log.ObserveUpdate(table, id, col, v)
+}
+
+// Close flushes and syncs the log and releases the file handle.
+func (d *DurableDB) Close() error { return d.log.close() }
+
+// Checkpoint rotates to a new generation: it makes the current log
+// durable, atomically installs a snapshot of cur (which must be the
+// engine's database at a committed, quiescent point — the facade
+// commits before calling), starts the next log generation, and retires
+// the old log. On a crash at any step, recovery lands on either the old
+// chain or the new snapshot, both of which are committed states.
+//
+// An error after the snapshot rename (the commit point) poisons the
+// log: later commits must not report durability that recovery — which
+// will prefer the new snapshot and ignore the old log — cannot honor.
+func (d *DurableDB) Checkpoint(cur *storage.DB) error {
+	if err := d.log.Err(); err != nil {
+		return err
+	}
+	d.log.flush()
+	if d.opts.Sync != SyncNever {
+		d.log.sync()
+	}
+	if err := d.log.Err(); err != nil {
+		return err
+	}
+	newGen := d.gen + 1
+	if err := writeSnapshot(d.fsys, d.dir, cur, newGen); err != nil {
+		// The rename may or may not have happened; fail-stop either way.
+		d.log.err = err
+		return err
+	}
+	// Create (truncating any stale leftover), never append: a dead
+	// wal-<newGen>.log from an older crash must not contribute records.
+	nf, err := d.fsys.Create(join(d.dir, logName(newGen)))
+	if err != nil {
+		d.log.err = err
+		return err
+	}
+	nl := &Log{fs: d.fsys, path: join(d.dir, logName(newGen)), f: nf, opts: d.opts}
+	nl.append(Record{Kind: RecSnapshot, Gen: newGen, FP: cur.Fingerprint()})
+	nl.append(Record{Kind: RecBegin})
+	nl.flush()
+	if d.opts.Sync != SyncNever {
+		nl.sync()
+	}
+	if nl.err != nil {
+		nf.Close()
+		d.log.err = nl.err
+		return nl.err
+	}
+	old := d.log
+	oldGen := d.gen
+	d.log = nl
+	d.gen = newGen
+	d.info.Gen = newGen
+	old.f.Close()
+	// Best effort: a stale log is ignored by recovery and re-deleted by
+	// the next successful Open.
+	_ = d.fsys.Remove(join(d.dir, logName(oldGen)))
+	return nil
+}
+
+// removeStale deletes leftovers from interrupted checkpoints: the temp
+// snapshot and any log file of a non-active generation. Best effort.
+func (d *DurableDB) removeStale() {
+	names, err := d.fsys.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	active := logName(d.gen)
+	for _, name := range names {
+		stale := name == "snapshot.tmp" ||
+			(strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") && name != active)
+		if stale {
+			_ = d.fsys.Remove(join(d.dir, name))
+		}
+	}
+}
+
+// recovered is the outcome of reading a WAL directory.
+type recovered struct {
+	db         *storage.DB
+	info       RecoveryInfo
+	logLen     int  // bytes present in the active log file
+	goodLen    int  // consistent prefix length (truncation point)
+	needMarker bool // log absent/empty/cut to zero: rewrite the marker
+}
+
+// recoverState loads the snapshot (if any) and replays the committed
+// ranges of the active log. Read-only.
+func recoverState(fsys FS, dir string, sch *schema.Schema) (*recovered, error) {
+	r := &recovered{}
+	snapData, serr := fsys.ReadFile(join(dir, snapName))
+	switch {
+	case serr == nil:
+		db, gen, err := decodeSnapshot(snapData, sch)
+		if err != nil {
+			return nil, fmt.Errorf("%w: snapshot: %v", ErrUnrecoverable, err)
+		}
+		r.db, r.info.Gen, r.info.SnapshotLoaded = db, gen, true
+	case IsNotExist(serr):
+		r.db, r.info.Gen = storage.NewDB(sch), 1
+	default:
+		return nil, serr
+	}
+	logPath := join(dir, logName(r.info.Gen))
+	data, lerr := fsys.ReadFile(logPath)
+	if lerr != nil {
+		if !IsNotExist(lerr) {
+			return nil, lerr
+		}
+		r.info.Fresh = !r.info.SnapshotLoaded
+		r.needMarker = true
+		return r, nil
+	}
+	r.logLen = len(data)
+	sc, err := scanLog(data, r.info.Gen, r.db.Fingerprint())
+	if err != nil {
+		return nil, err
+	}
+	r.goodLen = sc.goodLen
+	r.needMarker = sc.goodLen == 0
+	r.info.RecordsScanned = sc.records
+	r.info.TxCommitted = sc.commits
+	r.info.Aborts = sc.aborts
+	r.info.TailDiscarded = sc.discarded
+	r.info.TruncatedBytes = int64(len(data) - sc.goodLen)
+	for _, sp := range sc.ranges {
+		for _, rec := range sc.muts[sp.start:sp.end] {
+			if err := applyRecord(r.db, rec); err != nil {
+				return nil, fmt.Errorf("%w: replay: %v", ErrUnrecoverable, err)
+			}
+			r.info.MutationsReplayed++
+		}
+	}
+	return r, nil
+}
+
+// applyRecord redoes one committed mutation record against db.
+func applyRecord(db *storage.DB, rec Record) error {
+	switch rec.Kind {
+	case RecInsert:
+		return db.InsertWithID(rec.Table, rec.ID, rec.Vals)
+	case RecDelete:
+		if db.Delete(rec.Table, rec.ID) == nil {
+			return fmt.Errorf("delete %s #%d: no such tuple", rec.Table, rec.ID)
+		}
+		return nil
+	case RecUpdate:
+		_, err := db.Update(rec.Table, rec.ID, rec.Col, rec.Val)
+		return err
+	default:
+		return fmt.Errorf("unexpected %s record in committed range", rec)
+	}
+}
+
+// span is a half-open range into logScan.muts.
+type span struct{ start, end int }
+
+// logScan is the structural reading of one log file: which mutation
+// records belong to committed, un-aborted transaction ranges.
+type logScan struct {
+	muts      []Record
+	ranges    []span
+	records   int
+	commits   int
+	aborts    int
+	discarded int
+	goodLen   int
+}
+
+// scanLog walks the framed records of data, stopping (and marking the
+// truncation point) at the first torn or corrupt record or at an
+// unexpected mid-log snapshot marker. The first record must be the
+// snapshot marker matching wantGen/wantFP — anything else means the log
+// belongs to a different snapshot and the pair is unrecoverable.
+//
+// Range bookkeeping: mutations accumulate as pending; a commit record
+// promotes the pending run to a committed range; a begin record marks
+// where a later abort rolls back to; an abort discards every range back
+// to its begin (a rule-level ROLLBACK undoes even the assertion-point
+// commits inside its engine transaction, matching Engine semantics);
+// end of log discards the pending run (the uncommitted tail).
+func scanLog(data []byte, wantGen uint64, wantFP [32]byte) (*logScan, error) {
+	s := &logScan{}
+	off := 0
+	first := true
+	pendingStart := 0
+	txMark := 0
+	for off < len(data) {
+		rec, n, err := ReadRecord(data[off:])
+		if err != nil {
+			break // torn-tail rule: truncate here
+		}
+		if first {
+			if rec.Kind != RecSnapshot || rec.Gen != wantGen || rec.FP != wantFP {
+				return nil, fmt.Errorf("%w: log opens with %s, want snapshot marker for gen %d", ErrUnrecoverable, rec, wantGen)
+			}
+			first = false
+		} else {
+			switch rec.Kind {
+			case RecSnapshot:
+				// A marker mid-log means interleaved generations; trust
+				// only the prefix.
+				s.discarded += len(s.muts) - pendingStart
+				s.goodLen = off
+				return s, nil
+			case RecInsert, RecDelete, RecUpdate:
+				s.muts = append(s.muts, rec)
+			case RecCommit:
+				s.ranges = append(s.ranges, span{pendingStart, len(s.muts)})
+				pendingStart = len(s.muts)
+				s.commits++
+			case RecBegin:
+				txMark = len(s.ranges)
+			case RecAbort:
+				s.ranges = s.ranges[:txMark]
+				pendingStart = len(s.muts)
+				s.aborts++
+			}
+		}
+		off += n
+		s.records++
+		s.goodLen = off
+	}
+	s.discarded += len(s.muts) - pendingStart
+	return s, nil
+}

@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the WAL uses, injectable so the
+// crash-test harness (internal/faultinject, internal/crashtest) can
+// substitute an in-memory filesystem with fault injection and simulated
+// crash semantics. The production implementation is OS.
+//
+// Durability contract the WAL relies on (and the fault layer models):
+// bytes written to a File may be lost on crash until Sync returns;
+// Rename is atomic but does NOT sync file contents (callers must Sync
+// first); Remove and Truncate are treated as immediately durable.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens the named file for writing, creating it if absent and
+	// truncating it if present.
+	Create(name string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if
+	// absent.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the file's full contents (a missing file returns
+	// an error satisfying errors.Is(err, fs.ErrNotExist)).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate cuts the named file to the given size.
+	Truncate(name string, size int64) error
+	// ReadDir returns the sorted base names of the directory's entries.
+	ReadDir(dir string) ([]string, error)
+}
+
+// File is a writable log or snapshot file.
+type File interface {
+	// Write appends len(p) bytes; a short write must return an error.
+	Write(p []byte) (int, error)
+	// Sync forces written bytes to stable storage.
+	Sync() error
+	// Close releases the handle (without syncing).
+	Close() error
+}
+
+// OS is the production FS backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// IsNotExist reports whether err indicates a missing file, for FS
+// implementations built on io/fs errors.
+func IsNotExist(err error) bool { return err != nil && errors.Is(err, fs.ErrNotExist) }

@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"fmt"
+
+	"activerules/internal/storage"
+)
+
+// SyncPolicy selects when the log calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncCommit (the default) fsyncs at commit and abort records —
+	// every durable point is on stable storage before the engine
+	// proceeds. With Options.GroupCommit > 1, the fsync is amortized
+	// over that many commits (group commit): the durability window
+	// widens to the unsynced commits, but prefix consistency is
+	// unaffected because recovery only trusts what reached the disk in
+	// order.
+	SyncCommit SyncPolicy = iota
+	// SyncAlways fsyncs after every record append. Slowest, smallest
+	// loss window.
+	SyncAlways
+	// SyncNever never fsyncs; the OS decides when bytes hit the disk.
+	// Fastest, and still crash-consistent (never corrupt) — a crash just
+	// loses a longer committed suffix.
+	SyncNever
+)
+
+// String renders the policy as its ruleexec -fsync spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncCommit:
+		return "commit"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options configure a durable session.
+type Options struct {
+	// FS is the filesystem to use; nil means the real one (OS).
+	FS FS
+	// Sync is the fsync policy; the zero value is SyncCommit.
+	Sync SyncPolicy
+	// GroupCommit batches fsyncs under SyncCommit: the log fsyncs every
+	// Nth commit point (and always at abort, checkpoint, and close).
+	// Values below 2 mean every commit syncs.
+	GroupCommit int
+	// BufferBytes is the in-memory append buffer threshold; a pending
+	// batch larger than this is written out (without fsync) even before
+	// the next commit point. 0 means 256 KiB.
+	BufferBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OS
+	}
+	if o.GroupCommit < 2 {
+		o.GroupCommit = 1
+	}
+	if o.BufferBytes <= 0 {
+		o.BufferBytes = 256 << 10
+	}
+	return o
+}
+
+// Log is the append side of the write-ahead log. It implements
+// storage.Observer (mutation records arrive from the database's
+// physical-mutation hook) and the engine's Journal interface
+// (begin/commit/abort records arrive from transaction boundaries).
+//
+// Errors are sticky: after any filesystem failure the log stops
+// appending and every subsequent durable point returns the original
+// error, so a fault can never split a transaction across a gap. The
+// bytes already buffered or partially written form an uncommitted tail
+// that recovery discards.
+type Log struct {
+	fs   FS
+	path string
+	f    File
+	opts Options
+
+	buf     []byte
+	err     error
+	commits int // commits since the last fsync (group commit)
+
+	// appended counts records accepted since open, by rough class, for
+	// stats and tests.
+	mutations int
+	records   int
+}
+
+// openLog opens (creating if needed) the log file for appending.
+func openLog(fsys FS, path string, opts Options) (*Log, error) {
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{fs: fsys, path: path, f: f, opts: opts}, nil
+}
+
+// Err returns the sticky error, if any.
+func (l *Log) Err() error { return l.err }
+
+// Mutations returns the number of mutation records accepted since open.
+func (l *Log) Mutations() int { return l.mutations }
+
+// append frames rec into the buffer, spilling to the file when the
+// buffer outgrows the threshold (without fsync — an uncommitted tail on
+// disk is harmless, recovery discards it).
+func (l *Log) append(rec Record) {
+	if l.err != nil {
+		return
+	}
+	l.buf = AppendRecord(l.buf, rec)
+	l.records++
+	if len(l.buf) >= l.opts.BufferBytes {
+		l.flush()
+	}
+}
+
+// flush writes the buffered bytes to the file.
+func (l *Log) flush() {
+	if l.err != nil || len(l.buf) == 0 {
+		return
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return
+	}
+	l.buf = l.buf[:0]
+	if l.opts.Sync == SyncAlways {
+		l.sync()
+	}
+}
+
+func (l *Log) sync() {
+	if l.err != nil {
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: fsync: %w", err)
+		return
+	}
+	l.commits = 0
+}
+
+// durablePoint appends rec, flushes, and applies the fsync policy.
+// force bypasses group-commit batching (aborts, checkpoints, close).
+func (l *Log) durablePoint(rec Record, force bool) error {
+	l.append(rec)
+	l.flush()
+	switch l.opts.Sync {
+	case SyncNever, SyncAlways: // SyncAlways already synced in flush
+	default:
+		l.commits++
+		if force || l.commits >= l.opts.GroupCommit {
+			l.sync()
+		}
+	}
+	return l.err
+}
+
+// Begin writes a begin record: the point a later abort rolls back to.
+// Part of the engine Journal interface.
+func (l *Log) Begin() error {
+	l.append(Record{Kind: RecBegin})
+	l.flush()
+	return l.err
+}
+
+// Commit writes a commit record and makes it durable per the sync
+// policy. Part of the engine Journal interface.
+func (l *Log) Commit() error {
+	return l.durablePoint(Record{Kind: RecCommit}, false)
+}
+
+// Abort writes an abort record (a rule-level ROLLBACK fired) and forces
+// it to stable storage: the rollback's observable "nothing happened"
+// promise must survive a crash. Part of the engine Journal interface.
+func (l *Log) Abort() error {
+	return l.durablePoint(Record{Kind: RecAbort}, true)
+}
+
+// ObserveInsert implements storage.Observer.
+func (l *Log) ObserveInsert(table string, id storage.TupleID, vals []storage.Value) {
+	l.mutations++
+	l.append(Record{Kind: RecInsert, Table: table, ID: id, Vals: vals})
+}
+
+// ObserveDelete implements storage.Observer.
+func (l *Log) ObserveDelete(table string, id storage.TupleID) {
+	l.mutations++
+	l.append(Record{Kind: RecDelete, Table: table, ID: id})
+}
+
+// ObserveUpdate implements storage.Observer.
+func (l *Log) ObserveUpdate(table string, id storage.TupleID, col string, v storage.Value) {
+	l.mutations++
+	l.append(Record{Kind: RecUpdate, Table: table, ID: id, Col: col, Val: v})
+}
+
+// close flushes, syncs, and closes the file. The first error wins.
+func (l *Log) close() error {
+	l.flush()
+	if l.opts.Sync != SyncNever {
+		l.sync()
+	}
+	if cerr := l.f.Close(); cerr != nil && l.err == nil {
+		l.err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	return l.err
+}

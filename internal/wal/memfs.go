@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS with simulated crash semantics, the
+// substrate of the crash-recovery harness (internal/crashtest). Each
+// file tracks how much of its content has been fsynced; Crash throws
+// away a random amount of the unsynced tail of every file — including
+// none or all of it — producing exactly the torn-tail states a real
+// power loss can leave behind.
+//
+// Durability model (matching the FS contract): written bytes are
+// volatile until Sync; Truncate and Remove are immediately durable;
+// Rename is durable for the name but NOT for unsynced content — a
+// renamed-but-unsynced file can still lose its tail, which is why the
+// snapshot protocol syncs before renaming.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // prefix of data known durable
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+// Crash simulates a power loss: every file keeps its synced prefix plus
+// an rng-chosen prefix of its unsynced tail (possibly empty, possibly
+// all of it). Files are processed in sorted name order so a seeded rng
+// yields a deterministic post-crash state. Open handles remain usable
+// afterwards only in the sense that the harness reopens everything; the
+// fault injector freezes them at the crash point.
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := m.files[name]
+		keep := f.synced + rng.Intn(len(f.data)-f.synced+1)
+		f.data = f.data[:keep]
+		f.synced = keep
+	}
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+// Create implements FS. The truncation of an existing file is treated
+// as immediately durable (like Truncate).
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// ReadFile implements FS, returning the live (not just synced) content.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Rename implements FS: the name change is durable, the content keeps
+// whatever synced state it had.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove implements FS; the removal is durable.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Truncate implements FS; the truncation is durable.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("memfs: truncate %s to %d: out of range (size %d)", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := dir + "/"
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// memHandle is a write handle on a memFile.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+// Write implements File, appending (both Create and OpenAppend hand out
+// append-positioned handles; the WAL never seeks).
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+// ShortWrite appends only n of the len(p) bytes and reports failure —
+// the fault injector uses it to model a partial write reaching the disk
+// before an error.
+func (h *memHandle) ShortWrite(p []byte, n int) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	h.f.data = append(h.f.data, p[:n]...)
+	return n, fmt.Errorf("memfs: short write (%d of %d bytes)", n, len(p))
+}
+
+// Sync implements File, promoting all written bytes to durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+// Close implements File.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

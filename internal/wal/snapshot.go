@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"activerules/internal/schema"
+	"activerules/internal/storage"
+)
+
+// Snapshot format: a full serialization of the database contents,
+// written atomically (temp file + fsync + rename) at every checkpoint.
+//
+//	magic "ARSNAP1\n"
+//	uvarint generation
+//	uvarint nextID (the identity allocator)
+//	uvarint table count, then per table in sorted name order:
+//	  string  table name
+//	  uvarint row count, then per row in iteration order:
+//	    uvarint tuple id
+//	    uvarint column count
+//	    values  (same codec as log records)
+//	sha256 of everything above (32-byte trailer)
+//
+// Rows are written in iteration order and restored with InsertWithID,
+// so a database round-trips through a snapshot with identical contents
+// AND identical iteration order — replaying the following log
+// generation on top stays deterministic.
+
+var snapMagic = []byte("ARSNAP1\n")
+
+// encodeSnapshot serializes db at the given generation.
+func encodeSnapshot(db *storage.DB, gen uint64) []byte {
+	b := append([]byte(nil), snapMagic...)
+	b = binary.AppendUvarint(b, gen)
+	b = binary.AppendUvarint(b, uint64(db.NextID()))
+	names := append([]string(nil), db.Schema().TableNames()...)
+	sort.Strings(names)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		t := db.Table(name)
+		b = appendString(b, name)
+		b = binary.AppendUvarint(b, uint64(t.Len()))
+		t.Scan(func(tu *storage.Tuple) bool {
+			b = binary.AppendUvarint(b, uint64(tu.ID))
+			b = binary.AppendUvarint(b, uint64(len(tu.Vals)))
+			for _, v := range tu.Vals {
+				b = appendValue(b, v)
+			}
+			return true
+		})
+	}
+	sum := sha256.Sum256(b)
+	return append(b, sum[:]...)
+}
+
+// decodeSnapshot rebuilds a database from snapshot bytes against the
+// schema. Any structural problem — bad magic, digest mismatch, a table
+// the schema does not know, undecodable rows — wraps ErrCorrupt.
+func decodeSnapshot(data []byte, sch *schema.Schema) (*storage.DB, uint64, error) {
+	if len(data) < len(snapMagic)+sha256.Size {
+		return nil, 0, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, trailer := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(trailer) {
+		return nil, 0, fmt.Errorf("%w: snapshot digest mismatch", ErrCorrupt)
+	}
+	if string(body[:len(snapMagic)]) != string(snapMagic) {
+		return nil, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	d := decoder{b: body[len(snapMagic):]}
+	gen := d.uvarint()
+	nextID := d.uvarint()
+	ntables := d.uvarint()
+	if ntables > uint64(sch.NumTables()) {
+		return nil, 0, fmt.Errorf("%w: snapshot names %d tables, schema has %d", ErrCorrupt, ntables, sch.NumTables())
+	}
+	db := storage.NewDB(sch)
+	for ti := uint64(0); ti < ntables && d.err == nil; ti++ {
+		name := d.str()
+		nrows := d.uvarint()
+		if nrows > uint64(len(d.b)) { // each row takes at least 1 byte
+			return nil, 0, fmt.Errorf("%w: implausible row count %d for table %q", ErrCorrupt, nrows, name)
+		}
+		for ri := uint64(0); ri < nrows && d.err == nil; ri++ {
+			id := storage.TupleID(d.uvarint())
+			ncols := d.uvarint()
+			if ncols > uint64(len(d.b)) {
+				return nil, 0, fmt.Errorf("%w: implausible column count %d in table %q", ErrCorrupt, ncols, name)
+			}
+			vals := make([]storage.Value, 0, ncols)
+			for ci := uint64(0); ci < ncols; ci++ {
+				vals = append(vals, d.value())
+			}
+			if d.err != nil {
+				break
+			}
+			if err := db.InsertWithID(name, id, vals); err != nil {
+				return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, 0, fmt.Errorf("snapshot: %w", d.err)
+	}
+	if len(d.b) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(d.b))
+	}
+	db.BumpNextID(storage.TupleID(nextID))
+	return db, gen, nil
+}
+
+// writeSnapshot atomically installs the snapshot file: write to a temp
+// name, fsync, then rename over the final name. The rename is the
+// commit point; a crash anywhere before it leaves the previous snapshot
+// untouched, and the fsync before it guarantees the renamed file has
+// its contents.
+func writeSnapshot(fsys FS, dir string, db *storage.DB, gen uint64) error {
+	data := encodeSnapshot(db, gen)
+	tmp := join(dir, "snapshot.tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := fsys.Rename(tmp, join(dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return nil
+}
+
+// join concatenates a directory and base name with a slash. The WAL
+// manages flat directories only, so this is all the path logic needed —
+// and it keeps FS implementations trivially portable.
+func join(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return dir + "/" + name
+}
