@@ -3,10 +3,13 @@ package crashtest
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 
+	"activerules/internal/engine"
 	"activerules/internal/faultinject"
 	"activerules/internal/wal"
+	"activerules/internal/workload"
 )
 
 // hashSet indexes the reference run's durable-point hashes.
@@ -59,6 +62,43 @@ func checkRecovery(t *testing.T, sc *Scenario, fsys wal.FS, ref map[[32]byte]boo
 	}
 	if trunc != 0 {
 		t.Fatalf("%s: second recovery truncated %d bytes — first open left a dirty tail", label, trunc)
+	}
+	// Recover → commit → recover again. Open truncates only torn bytes,
+	// so a well-formed uncommitted tail from the crashed session can
+	// survive in the file with the new session's begin appended after
+	// it. Committing new work through that session must not adopt the
+	// stale tail: recovery after the commit has to land exactly on the
+	// continued session's committed state — not a fold of mutations an
+	// earlier recovery already discarded, and never ErrUnrecoverable
+	// from replaying a stale insert whose tuple ID the continued
+	// session reused.
+	d3, err := wal.Open(Dir, sc.G.Schema, wal.Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("%s: continue open: %v", label, err)
+	}
+	db3 := d3.State()
+	db3.SetObserver(d3)
+	eng := engine.New(sc.G.Set, db3, engine.Options{MaxSteps: 5000, Journal: d3})
+	script := workload.UserScript(sc.G.Schema, rand.New(rand.NewSource(7)), 2)
+	if _, err := eng.ExecUser(script); err != nil {
+		t.Fatalf("%s: continue script: %v", label, err)
+	}
+	if _, err := eng.Assert(); err != nil {
+		t.Fatalf("%s: continue assert: %v", label, err)
+	}
+	if err := eng.Commit(); err != nil {
+		t.Fatalf("%s: continue commit: %v", label, err)
+	}
+	hc := FreshHash(sc.G.Set, eng.DB())
+	if err := d3.Close(); err != nil {
+		t.Fatalf("%s: continue close: %v", label, err)
+	}
+	db4, _, err := wal.Recover(Dir, sc.G.Schema, fsys)
+	if err != nil {
+		t.Fatalf("%s: recover after continued commit: %v", label, err)
+	}
+	if FreshHash(sc.G.Set, db4) != hc {
+		t.Fatalf("%s: recovery after a continued session's commit diverged from its committed state", label)
 	}
 }
 

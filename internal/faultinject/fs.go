@@ -34,7 +34,7 @@ type shortWriter interface {
 
 // WrapFS returns a filesystem that delegates to fsys, injecting faults
 // at the state-changing operations (Create, OpenAppend, Write, Sync,
-// Rename, Remove, Truncate) according to the injector's FS
+// SyncDir, Rename, Remove, Truncate) according to the injector's FS
 // configuration. Read-side operations (ReadFile, ReadDir, MkdirAll) are
 // never counted or failed: they model the recovery path, which runs in
 // a fresh process after the fault.
@@ -136,6 +136,13 @@ func (f injFS) Truncate(name string, size int64) error {
 		return err
 	}
 	return f.fs.Truncate(name, size)
+}
+
+func (f injFS) SyncDir(dir string) error {
+	if err := f.in.fsCheck("sync-dir", dir); err != nil {
+		return err
+	}
+	return f.fs.SyncDir(dir)
 }
 
 func (f injFS) ReadDir(dir string) ([]string, error) { return f.fs.ReadDir(dir) }

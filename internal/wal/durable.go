@@ -85,6 +85,9 @@ func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
 		if err := fsys.Truncate(logPath, int64(rec.goodLen)); err != nil {
 			return nil, err
 		}
+		if err := fsys.SyncDir(dir); err != nil {
+			return nil, err
+		}
 	}
 	l, err := openLog(fsys, logPath, opts)
 	if err != nil {
@@ -102,6 +105,12 @@ func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
 	if l.err != nil {
 		l.f.Close()
 		return nil, l.err
+	}
+	// OpenAppend may have just created the log file: its directory entry
+	// must be durable before any commit this session reports as durable.
+	if err := fsys.SyncDir(dir); err != nil {
+		l.f.Close()
+		return nil, err
 	}
 	d := &DurableDB{fsys: fsys, dir: dir, opts: opts, sch: sch, gen: rec.info.Gen, log: l, st: rec.db, info: rec.info}
 	d.removeStale()
@@ -209,6 +218,15 @@ func (d *DurableDB) Checkpoint(cur *storage.DB) error {
 		nf.Close()
 		d.log.err = nl.err
 		return nl.err
+	}
+	// Make the new log's directory entry durable before retiring the old
+	// log: otherwise a power loss could keep the old-log Remove while
+	// dropping the wal-<newGen>.log creation, silently discarding every
+	// commit this session makes after Checkpoint returns.
+	if err := d.fsys.SyncDir(d.dir); err != nil {
+		nf.Close()
+		d.log.err = err
+		return err
 	}
 	old := d.log
 	oldGen := d.gen
@@ -339,10 +357,12 @@ type logScan struct {
 //
 // Range bookkeeping: mutations accumulate as pending; a commit record
 // promotes the pending run to a committed range; a begin record marks
-// where a later abort rolls back to; an abort discards every range back
-// to its begin (a rule-level ROLLBACK undoes even the assertion-point
-// commits inside its engine transaction, matching Engine semantics);
-// end of log discards the pending run (the uncommitted tail).
+// where a later abort rolls back to AND discards any pending run in
+// front of it (a stale uncommitted tail from a previous session — see
+// the case comment); an abort discards every range back to its begin
+// (a rule-level ROLLBACK undoes even the assertion-point commits
+// inside its engine transaction, matching Engine semantics); end of
+// log discards the pending run (the uncommitted tail).
 func scanLog(data []byte, wantGen uint64, wantFP [32]byte) (*logScan, error) {
 	s := &logScan{}
 	off := 0
@@ -374,6 +394,16 @@ func scanLog(data []byte, wantGen uint64, wantFP [32]byte) (*logScan, error) {
 				pendingStart = len(s.muts)
 				s.commits++
 			case RecBegin:
+				// A legitimately-written begin always sits at a durable
+				// point with no mutations pending. Anything pending here is
+				// the well-formed uncommitted tail of an earlier session:
+				// Open truncates only torn bytes, so a buffer spill or an
+				// unclean end can leave such a tail in the file, and the
+				// next session appends its begin right after it. Discard it
+				// — otherwise that session's first commit would adopt
+				// mutations every earlier recovery already discarded.
+				s.discarded += len(s.muts) - pendingStart
+				pendingStart = len(s.muts)
 				txMark = len(s.ranges)
 			case RecAbort:
 				s.ranges = s.ranges[:txMark]

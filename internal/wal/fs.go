@@ -34,6 +34,13 @@ type FS interface {
 	Remove(name string) error
 	// Truncate cuts the named file to the given size.
 	Truncate(name string, size int64) error
+	// SyncDir forces the directory's entries to stable storage. On a
+	// POSIX filesystem Create, Rename, and Remove alter the parent
+	// directory, and those alterations are volatile until the directory
+	// itself is fsynced — a crash can otherwise keep a renamed
+	// snapshot's old name or lose a freshly created log file. Callers
+	// invoke it after the name-changing steps of checkpoint and open.
+	SyncDir(dir string) error
 	// ReadDir returns the sorted base names of the directory's entries.
 	ReadDir(dir string) ([]string, error)
 }
@@ -70,6 +77,18 @@ func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, ne
 func (osFS) Remove(name string) error { return os.Remove(name) }
 
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
 
 func (osFS) ReadDir(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)

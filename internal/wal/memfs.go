@@ -143,6 +143,13 @@ func (m *MemFS) Truncate(name string, size int64) error {
 	return nil
 }
 
+// SyncDir implements FS as a no-op: MemFS models directory entries
+// (create, rename, remove) as immediately durable, so the crash harness
+// exercises SyncDir call sites as injection points (failures, crashes)
+// but cannot detect a *missing* SyncDir call — that gap in the model is
+// why osFS must supply the real directory fsync.
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
 // ReadDir implements FS.
 func (m *MemFS) ReadDir(dir string) ([]string, error) {
 	m.mu.Lock()

@@ -113,10 +113,13 @@ func decodeSnapshot(data []byte, sch *schema.Schema) (*storage.DB, uint64, error
 }
 
 // writeSnapshot atomically installs the snapshot file: write to a temp
-// name, fsync, then rename over the final name. The rename is the
-// commit point; a crash anywhere before it leaves the previous snapshot
-// untouched, and the fsync before it guarantees the renamed file has
-// its contents.
+// name, fsync, rename over the final name, then fsync the directory so
+// the rename itself is durable. The rename is the commit point; a crash
+// anywhere before it leaves the previous snapshot untouched, the fsync
+// before it guarantees the renamed file has its contents, and the
+// directory fsync after it guarantees a later power loss cannot revert
+// the name swap (which would pair the old snapshot with the new,
+// already-started log generation).
 func writeSnapshot(fsys FS, dir string, db *storage.DB, gen uint64) error {
 	data := encodeSnapshot(db, gen)
 	tmp := join(dir, "snapshot.tmp")
@@ -136,6 +139,9 @@ func writeSnapshot(fsys FS, dir string, db *storage.DB, gen uint64) error {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	if err := fsys.Rename(tmp, join(dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	return nil

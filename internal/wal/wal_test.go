@@ -183,6 +183,47 @@ func TestUncommittedTailDiscarded(t *testing.T) {
 	}
 }
 
+// A well-formed uncommitted tail survives in the log file across Open
+// (only torn bytes are truncated). When the next session commits, its
+// begin record must fence that stale tail off: the new commit adopts
+// only the new session's mutations, never the discarded ones — and
+// replay must not trip over the tuple IDs the new session reuses
+// (the discarded inserts never bumped the recovered allocator).
+func TestStaleTailNotAdoptedByNextSessionCommit(t *testing.T) {
+	fsys := NewMemFS()
+	d, db := session(t, fsys, "w")
+	db.MustInsert("acct", storage.StringV("ann"), storage.IntV(10))
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("acct", storage.StringV("eve"), storage.IntV(666))
+	// Spill the uncommitted insert into the file, then end the session
+	// uncleanly: no Commit, no Close.
+	d.log.flush()
+
+	// Session 2 discards eve on recovery, then commits fresh work whose
+	// tuple ID collides with eve's.
+	d2, db2 := session(t, fsys, "w")
+	db2.MustInsert("acct", storage.StringV("bob"), storage.IntV(20))
+	if err := d2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := db2.Fingerprint()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 3 must see ann+bob — eve's stale record must not have been
+	// folded into session 2's commit range.
+	_, db3 := session(t, fsys, "w")
+	if db3.Fingerprint() != want {
+		t.Errorf("stale uncommitted tail folded into the next session's commit:\ngot:\n%s\nwant:\n%s", db3, db2)
+	}
+	if info := mustRecoverInfo(t, fsys, "w"); info.TailDiscarded != 1 {
+		t.Errorf("info = %+v, want TailDiscarded=1", info)
+	}
+}
+
 // engineCommit models what Engine.Commit does with a journal attached:
 // a durable point followed by a new transaction start.
 func engineCommit(t *testing.T, d *DurableDB) {
