@@ -1,0 +1,402 @@
+// Command ruled is a long-running rule server: it recovers a durable
+// session from a write-ahead log and serves line-delimited JSON
+// requests over stdin/stdout or TCP, with admission control, per-
+// request deadlines, rule quarantine (with degraded-mode reporting via
+// the paper's §7 Sig(T') analysis), and graceful drain.
+//
+// Usage:
+//
+//	ruled -schema schema.sdl -rules rules.srl -wal dir [flags]
+//
+// Flags:
+//
+//	-listen addr     serve TCP on addr (e.g. 127.0.0.1:7070); when
+//	                 empty (the default), serve stdin/stdout
+//	-queue-depth n   admission queue bound (default 64)
+//	-deadline d      default per-request deadline (0 = none); requests
+//	                 may override with "deadline_ms"
+//	-drain d         graceful-drain bound on shutdown (default 5s)
+//	-quarantine n    consecutive attributed faults that quarantine a
+//	                 rule (default 3); 0 keeps the default
+//	-no-probe        never readmit quarantined rules (no half-open
+//	                 probing)
+//	-seed n          seed for the jittered probe/retry backoff
+//	-maxsteps n      rule-consideration budget per request
+//	-strategy s      first | last | random:<seed>
+//	-fsync policy    commit (default) | always | never
+//	-group-commit n  fsync every nth commit (below 2 = every commit)
+//
+// Protocol: one JSON object per line in, one per line out.
+//
+//	{"op":"assert","sql":"insert into t values (1)","deadline_ms":100}
+//	{"op":"health"}   {"op":"stats"}   {"op":"checkpoint"}   {"op":"shutdown"}
+//
+// Every response carries "ok"; failures add "error" and a stable
+// "code": overload | deadline | closed | exec | livelock | maxsteps |
+// cancelled | durability | bad-request.
+//
+// Exit status:
+//
+//	0  clean shutdown (signal, EOF, or shutdown op; drain completed)
+//	2  usage or load errors, or an internal error
+//	7  the -wal directory is unrecoverable
+//	8  the drain deadline expired before in-flight work completed
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"activerules"
+	"activerules/internal/storage"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
+	// Containment: a hostile rule set or request stream must produce a
+	// diagnostic and a sane exit code, never a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "ruled: internal error: panic: %v\n", p)
+			code = 2
+		}
+	}()
+	fs := flag.NewFlagSet("ruled", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	schemaPath := fs.String("schema", "", "schema definition file (required)")
+	rulesPath := fs.String("rules", "", "rule definition file (required)")
+	walDir := fs.String("wal", "", "write-ahead log directory (required; recovered on start)")
+	listen := fs.String("listen", "", "TCP listen address (empty = stdin/stdout)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue bound (0 = 64)")
+	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown")
+	quarantine := fs.Int("quarantine", 0, "faults that quarantine a rule (0 = 3)")
+	noProbe := fs.Bool("no-probe", false, "never readmit quarantined rules")
+	seed := fs.Int64("seed", 0, "seed for jittered probe/retry backoff")
+	maxSteps := fs.Int("maxsteps", 10000, "rule consideration budget per request")
+	strategy := fs.String("strategy", "first", "first | last | random:<seed>")
+	fsync := fs.String("fsync", "commit", "commit | always | never")
+	groupCommit := fs.Int("group-commit", 0, "fsync every nth commit (below 2 = every commit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *schemaPath == "" || *rulesPath == "" || *walDir == "" {
+		fmt.Fprintln(stderr, "ruled: -schema, -rules, and -wal are required")
+		fs.Usage()
+		return 2
+	}
+
+	sys, err := activerules.LoadFiles(*schemaPath, *rulesPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "ruled:", err)
+		return 2
+	}
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(stderr, "ruled:", err)
+		return 2
+	}
+	policy, err := parseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(stderr, "ruled:", err)
+		return 2
+	}
+
+	srv, err := sys.NewServer(*walDir, activerules.ServeConfig{
+		WAL:                 activerules.WALOptions{Sync: policy, GroupCommit: *groupCommit},
+		Engine:              activerules.EngineOptions{MaxSteps: *maxSteps, Strategy: strat},
+		QueueDepth:          *queueDepth,
+		DefaultDeadline:     *deadline,
+		DrainTimeout:        *drain,
+		QuarantineThreshold: *quarantine,
+		DisableProbing:      *noProbe,
+		Seed:                *seed,
+	})
+	if err != nil {
+		if errors.Is(err, activerules.ErrUnrecoverableLog) {
+			fmt.Fprintln(stderr, "ruled: unrecoverable write-ahead log:", err)
+			return 7
+		}
+		fmt.Fprintln(stderr, "ruled:", err)
+		return 2
+	}
+
+	// stop coordinates the three shutdown triggers: a signal, input
+	// EOF (stdio mode), and the shutdown op.
+	var stopOnce sync.Once
+	stop := make(chan struct{})
+	requestStop := func() { stopOnce.Do(func() { close(stop) }) }
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		select {
+		case <-sigCh:
+			requestStop()
+		case <-stop:
+		}
+	}()
+
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(stderr, "ruled:", err)
+			return 2
+		}
+		defer ln.Close()
+		fmt.Fprintf(stdout, "ruled: listening %s\n", ln.Addr())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed during shutdown
+				}
+				go func() {
+					defer conn.Close()
+					serveLines(srv, conn, conn, requestStop)
+				}()
+			}
+		}()
+		<-stop
+		ln.Close()
+	} else {
+		go func() {
+			serveLines(srv, stdin, stdout, requestStop)
+			requestStop() // EOF on stdin drains the server
+		}()
+		<-stop
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "ruled: drain deadline exceeded; queued work was shed")
+		return 8
+	}
+	if err != nil {
+		if errors.Is(err, activerules.ErrUnrecoverableLog) {
+			fmt.Fprintln(stderr, "ruled: shutdown:", err)
+			return 7
+		}
+		fmt.Fprintln(stderr, "ruled: shutdown:", err)
+		return 2
+	}
+	fmt.Fprintln(stdout, "ruled: drained cleanly")
+	return 0
+}
+
+// wireReq is one request line.
+type wireReq struct {
+	Op         string `json:"op"`
+	SQL        string `json:"sql,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// serveLines reads JSON lines from r and writes one JSON response line
+// per request to w. Writes are serialized so concurrent asserts from
+// one peer interleave whole lines.
+func serveLines(srv *activerules.Server, r io.Reader, w io.Writer, requestStop func()) {
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	respond := func(v map[string]any) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = enc.Encode(v)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req wireReq
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			respond(map[string]any{"ok": false, "code": "bad-request", "error": "bad JSON: " + err.Error()})
+			continue
+		}
+		switch req.Op {
+		case "assert":
+			resp, err := srv.Submit(context.Background(), activerules.ServeRequest{
+				SQL:      req.SQL,
+				Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+			})
+			if err != nil {
+				respond(errorBody(err))
+				continue
+			}
+			respond(assertBody(resp))
+		case "health":
+			h := srv.Health()
+			respond(map[string]any{
+				"ok":          true,
+				"state":       h.State,
+				"ready":       h.Ready,
+				"degraded":    h.Degraded,
+				"quarantined": h.Report.Quarantined,
+				"probing":     h.Report.Probing,
+				"report":      h.Report.String(),
+			})
+		case "stats":
+			st := srv.Stats()
+			respond(map[string]any{
+				"ok":             true,
+				"state":          st.State,
+				"queue_len":      st.QueueLen,
+				"queue_cap":      st.QueueCap,
+				"accepted":       st.Accepted,
+				"completed":      st.Completed,
+				"failed":         st.Failed,
+				"shed_overload":  st.ShedOverload,
+				"shed_deadline":  st.ShedDeadline,
+				"reopens":        st.Reopens,
+				"avg_service_ns": int64(st.AvgService),
+				"quarantined":    st.Quarantined,
+				"probing":        st.Probing,
+			})
+		case "checkpoint":
+			if err := srv.Checkpoint(context.Background()); err != nil {
+				respond(errorBody(err))
+				continue
+			}
+			respond(map[string]any{"ok": true})
+		case "shutdown":
+			respond(map[string]any{"ok": true, "state": activerules.ServerDraining})
+			requestStop()
+		default:
+			respond(map[string]any{"ok": false, "code": "bad-request",
+				"error": fmt.Sprintf("unknown op %q (want assert, health, stats, checkpoint, or shutdown)", req.Op)})
+		}
+	}
+}
+
+func assertBody(resp *activerules.ServeResponse) map[string]any {
+	body := map[string]any{
+		"ok":         true,
+		"considered": resp.Considered,
+		"fired":      resp.Fired,
+		"rolledback": resp.RolledBack,
+		"state_hash": resp.StateHash,
+		"gen":        resp.Gen,
+		"attempts":   resp.Attempts,
+	}
+	if len(resp.FiredByRule) != 0 {
+		body["fired_by_rule"] = resp.FiredByRule
+	}
+	if len(resp.Results) != 0 {
+		results := make([]map[string]any, 0, len(resp.Results))
+		for _, r := range resp.Results {
+			m := map[string]any{"affected": r.Affected}
+			if len(r.Rows) != 0 {
+				rows := make([][]any, 0, len(r.Rows))
+				for _, row := range r.Rows {
+					vals := make([]any, 0, len(row))
+					for _, v := range row {
+						vals = append(vals, jsonValue(v))
+					}
+					rows = append(rows, vals)
+				}
+				m["rows"] = rows
+			}
+			results = append(results, m)
+		}
+		body["results"] = results
+	}
+	return body
+}
+
+// errorBody maps the serving/engine failure taxonomy to a stable wire
+// code. The livelock check precedes the maxsteps one: a livelock
+// witness satisfies errors.Is(ErrMaxSteps) but carries more.
+func errorBody(err error) map[string]any {
+	code := "error"
+	var oe *activerules.OverloadError
+	var de *activerules.DeadlineError
+	var ce *activerules.ServerClosedError
+	var xe *activerules.ExecError
+	var le *activerules.LivelockError
+	var cancelled *activerules.CancelledError
+	var dur *activerules.DurabilityError
+	switch {
+	case errors.As(err, &oe):
+		code = "overload"
+	case errors.As(err, &de):
+		code = "deadline"
+	case errors.As(err, &ce):
+		code = "closed"
+	case errors.As(err, &le):
+		code = "livelock"
+	case errors.As(err, &xe):
+		code = "exec"
+	case errors.As(err, &cancelled):
+		code = "cancelled"
+	case errors.As(err, &dur):
+		code = "durability"
+	case errors.Is(err, activerules.ErrMaxSteps):
+		code = "maxsteps"
+	}
+	return map[string]any{"ok": false, "code": code, "error": err.Error()}
+}
+
+func jsonValue(v storage.Value) any {
+	switch v.Kind {
+	case storage.KindInt:
+		return v.I
+	case storage.KindFloat:
+		return v.F
+	case storage.KindString:
+		return v.S
+	case storage.KindBool:
+		return v.B
+	default:
+		return nil
+	}
+}
+
+func parseSyncPolicy(s string) (activerules.SyncPolicy, error) {
+	switch s {
+	case "commit":
+		return activerules.SyncCommit, nil
+	case "always":
+		return activerules.SyncAlways, nil
+	case "never":
+		return activerules.SyncNever, nil
+	default:
+		return activerules.SyncCommit, fmt.Errorf("unknown -fsync policy %q (want commit, always, or never)", s)
+	}
+}
+
+func parseStrategy(s string) (activerules.Strategy, error) {
+	switch {
+	case s == "first":
+		return activerules.FirstByName(), nil
+	case s == "last":
+		return activerules.LastByName(), nil
+	case strings.HasPrefix(s, "random:"):
+		seed, err := strconv.ParseInt(strings.TrimPrefix(s, "random:"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad random seed in %q", s)
+		}
+		return activerules.SeededStrategy(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -50,6 +50,10 @@ var (
 	// ErrCrashed is the sentinel of the fault injector's simulated
 	// process crash (FaultConfig.FSCrashAt).
 	ErrCrashed = faultinject.ErrCrashed
+	// ErrWALClosed marks journal writes that reached a closed durable
+	// session: Close is terminal, and later engine commits fail with a
+	// *DurabilityError wrapping this sentinel instead of panicking.
+	ErrWALClosed = wal.ErrClosed
 )
 
 // NewMemFS returns an empty in-memory filesystem for durable sessions
@@ -119,7 +123,11 @@ func (ds *DurableSession) Checkpoint() error {
 }
 
 // Close flushes and syncs the log and releases the session's file
-// handle. The engine remains usable in memory but no longer durable.
+// handle. The engine remains usable in memory but no longer durable:
+// its next journaled transaction boundary fails with a
+// *DurabilityError wrapping ErrWALClosed. Close is idempotent — a
+// second Close is a no-op returning nil — so drain paths can close
+// defensively without tracking who closed first.
 func (ds *DurableSession) Close() error { return ds.d.Close() }
 
 // Recover reconstructs the durable state in dir without modifying

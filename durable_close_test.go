@@ -1,0 +1,61 @@
+package activerules_test
+
+// Facade contract for DurableSession.Close: idempotent, and terminal —
+// post-Close journal writes fail with a typed *DurabilityError wrapping
+// ErrWALClosed rather than panicking on a released handle. The serving
+// layer's drain path relies on all three properties.
+
+import (
+	"errors"
+	"testing"
+
+	"activerules"
+)
+
+func TestDurableSessionCloseIdempotent(t *testing.T) {
+	sys := activerules.MustLoad(
+		"table t (v int)\ntable u (v int)",
+		"create rule r on t\nwhen inserted\nthen insert into u select v from inserted",
+	)
+	fsys := activerules.NewMemFS()
+	ds, err := sys.OpenDurable("wal", activerules.DurableOptions{
+		WAL: activerules.WALOptions{FS: fsys},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Engine.ExecUser("insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Engine.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Engine.DB().Fingerprint()
+
+	if err := ds.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+
+	// The engine survives in memory, but its durable boundary is gone:
+	// Commit must return a typed durability error, not panic.
+	err = ds.Engine.Commit()
+	var de *activerules.DurabilityError
+	if !errors.As(err, &de) {
+		t.Fatalf("Commit after Close = %v, want *DurabilityError", err)
+	}
+	if !errors.Is(err, activerules.ErrWALClosed) {
+		t.Errorf("Commit after Close = %v, want errors.Is(ErrWALClosed)", err)
+	}
+
+	// The state committed before Close is durable.
+	db, _, err := sys.Recover("wal", fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Fingerprint() != want {
+		t.Error("recovered state differs from the state at Close")
+	}
+}

@@ -570,6 +570,20 @@ func (e *Engine) journal(op string, call func(Journal) error) error {
 	return nil
 }
 
+// Rollback aborts the current engine transaction exactly as a rule
+// ROLLBACK action would, but driven by the caller: the transaction-start
+// snapshot is restored, all rule bookkeeping (marks, transition log,
+// suspended in-flight processing) is cleared, and the journal — when
+// configured — records an abort, reverting the durable state to the
+// transaction's begin. The serving layer uses it to give every failed
+// request "never happened" semantics: a deadline expiry or a
+// quarantine-tripping fault mid-assert must not leave a half-processed
+// transition for the next client to trip over.
+func (e *Engine) Rollback() error {
+	e.rollback()
+	return e.journal("abort", Journal.Abort)
+}
+
 // Commit ends the transaction: the current state becomes the new
 // rollback snapshot and the transition log is cleared. Committing while
 // processing is suspended (InFlight) abandons the unprocessed remainder

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// journalRecorder records the transaction-boundary calls it receives.
+type journalRecorder struct {
+	ops []string
+	err error // returned by every call when non-nil
+}
+
+func (j *journalRecorder) Begin() error  { j.ops = append(j.ops, "begin"); return j.err }
+func (j *journalRecorder) Commit() error { j.ops = append(j.ops, "commit"); return j.err }
+func (j *journalRecorder) Abort() error  { j.ops = append(j.ops, "abort"); return j.err }
+
+// TestRollbackRestoresTransactionStart pins the caller-driven Rollback:
+// everything since the last Commit — committed assertion points
+// included — is undone, exactly like a rule ROLLBACK action.
+func TestRollbackRestoresTransactionStart(t *testing.T) {
+	set, db := mkSet(t, `
+table account (id int, owner string)
+table audit (id int, owner string)
+`, `
+create rule r_audit on account
+when inserted
+then insert into audit select id, owner from inserted
+`)
+	e := New(set, db, Options{})
+	if _, err := e.ExecUser("insert into account values (1, 'ann')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	committed := e.DB().Fingerprint()
+
+	if _, err := e.ExecUser("insert into account values (2, 'bob')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	if e.DB().Fingerprint() == committed {
+		t.Fatal("second transaction had no visible effect; test is vacuous")
+	}
+	if err := e.Rollback(); err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if e.DB().Fingerprint() != committed {
+		t.Error("Rollback did not restore the last committed state")
+	}
+	if e.InFlight() {
+		t.Error("Rollback left processing suspended")
+	}
+	// The engine must be fully usable afterwards.
+	if _, err := e.ExecUser("insert into account values (3, 'cyd')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.DB().Table("audit").Len(); got != 2 {
+		t.Errorf("audit rows after rollback+new transaction = %d, want 2", got)
+	}
+}
+
+// TestRollbackClearsSuspendedAssert drives processing into the
+// suspended (InFlight) state via cancellation, then checks Rollback
+// clears the suspension and discards the unconsumed transition — the
+// serving layer's failed-request path.
+func TestRollbackClearsSuspendedAssert(t *testing.T) {
+	set, db := mkSet(t, "table t (v int)\ntable u (v int)", `
+create rule r on t
+when inserted
+then insert into u select v from inserted
+`)
+	e := New(set, db, Options{})
+	if _, err := e.ExecUser("insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.AssertContext(ctx)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("AssertContext = %v, want *CancelledError", err)
+	}
+	if !e.InFlight() {
+		t.Fatal("expected suspended processing")
+	}
+	if err := e.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if e.InFlight() {
+		t.Error("Rollback left processing suspended")
+	}
+	// The transition was discarded with the transaction: a fresh assert
+	// has nothing to do.
+	res, err := e.Assert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Considered != 0 {
+		t.Errorf("post-rollback assert considered %d rules, want 0 (transition discarded)", res.Considered)
+	}
+	if db := e.DB(); db.Table("t").Len() != 0 || db.Table("u").Len() != 0 {
+		t.Error("rollback did not empty the database")
+	}
+}
+
+// TestRollbackJournalsAbort checks the durable side: Rollback writes an
+// abort record, and a journal failure surfaces as a *DurabilityError
+// while the in-memory rollback still happened.
+func TestRollbackJournalsAbort(t *testing.T) {
+	set, db := mkSet(t, "table t (v int)\ntable u (v int)", `
+create rule r on t
+when inserted
+then insert into u select v from inserted
+`)
+	j := &journalRecorder{}
+	e := New(set, db, Options{Journal: j})
+	if _, err := e.ExecUser("insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.ops) != 1 || j.ops[0] != "abort" {
+		t.Errorf("journal ops = %v, want [abort]", j.ops)
+	}
+
+	j.err = errors.New("disk gone")
+	if _, err := e.ExecUser("insert into t values (2)"); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Rollback()
+	var de *DurabilityError
+	if !errors.As(err, &de) || de.Op != "abort" {
+		t.Fatalf("Rollback with failing journal = %v, want *DurabilityError{Op: abort}", err)
+	}
+	if e.DB().Table("t").Len() != 0 {
+		t.Error("in-memory rollback must happen even when the journal fails")
+	}
+}

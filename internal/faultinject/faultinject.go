@@ -35,6 +35,12 @@ type Config struct {
 	// PanicAt makes the Nth mutation call panic instead of returning an
 	// error, exercising panic containment; 0 disables.
 	PanicAt int
+	// PanicTable makes EVERY mutation touching the named table panic —
+	// a deterministically hostile rule: any rule whose action writes the
+	// table fails on every consideration, which is the repeated-fault
+	// shape the serving layer's quarantine breaker must trip on. Empty
+	// disables.
+	PanicTable string
 	// P makes each mutation fail independently with this probability,
 	// drawn from a deterministic generator seeded with Seed.
 	P    float64
@@ -114,6 +120,10 @@ func (in *Injector) check(op, table string) error {
 	probabilistic := in.cfg.P > 0 && in.rng.Float64() < in.cfg.P
 	if !in.armed {
 		return nil
+	}
+	if in.cfg.PanicTable != "" && table == in.cfg.PanicTable {
+		in.faults++
+		panic(fmt.Sprintf("faultinject: injected panic on table %s (%s, call %d)", table, op, in.calls))
 	}
 	if in.cfg.PanicAt > 0 && in.calls == in.cfg.PanicAt {
 		in.faults++

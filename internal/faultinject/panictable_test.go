@@ -1,0 +1,60 @@
+package faultinject
+
+import (
+	"testing"
+
+	"activerules/internal/storage"
+)
+
+// nullMutator applies nothing; the injector decides fate before
+// delegation, which is all these tests observe.
+type nullMutator struct{}
+
+func (nullMutator) Insert(string, []storage.Value) (storage.TupleID, error) { return 1, nil }
+func (nullMutator) Delete(string, storage.TupleID) error                    { return nil }
+func (nullMutator) Update(string, storage.TupleID, string, storage.Value) error {
+	return nil
+}
+
+// TestPanicTablePanicsEveryTouch pins the hostile-rule knob: every
+// mutation on the configured table panics, on every call, while other
+// tables pass through untouched.
+func TestPanicTablePanicsEveryTouch(t *testing.T) {
+	in := New(Config{PanicTable: "poison"})
+	m := in.Wrap(nullMutator{})
+
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected injected panic")
+			}
+		}()
+		f()
+	}
+	for i := 0; i < 3; i++ {
+		mustPanic(func() { m.Insert("poison", nil) })
+		mustPanic(func() { m.Update("poison", 1, "v", storage.IntV(0)) })
+		mustPanic(func() { m.Delete("poison", 1) })
+	}
+	if _, err := m.Insert("fine", nil); err != nil {
+		t.Fatalf("untargeted table failed: %v", err)
+	}
+	if got := in.Faults(); got != 9 {
+		t.Errorf("Faults = %d, want 9", got)
+	}
+}
+
+// TestPanicTableRespectsDisarm checks a disarmed injector lets the
+// poisoned table through (resume paths disarm to make progress).
+func TestPanicTableRespectsDisarm(t *testing.T) {
+	in := New(Config{PanicTable: "poison"})
+	in.Disarm()
+	m := in.Wrap(nullMutator{})
+	if _, err := m.Insert("poison", nil); err != nil {
+		t.Fatalf("disarmed injector injected: %v", err)
+	}
+	if in.Faults() != 0 {
+		t.Errorf("Faults = %d, want 0", in.Faults())
+	}
+}

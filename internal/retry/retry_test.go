@@ -1,0 +1,135 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministicPerSeed pins that the delay sequence is a
+// pure function of (policy, seed): two schedules agree delay-for-delay,
+// and Reset replays the identical sequence.
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	pol := Policy{Initial: 10 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.5}
+	a, b := New(pol, 42), New(pol, 42)
+	var first []time.Duration
+	for i := 0; i < 12; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: schedules diverge: %v vs %v", i, da, db)
+		}
+		first = append(first, da)
+	}
+	a.Reset()
+	for i, want := range first {
+		if got := a.Next(); got != want {
+			t.Fatalf("after Reset, attempt %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestScheduleSeedsDiffer guards against the jitter silently ignoring
+// the seed: different seeds must (for this policy) produce different
+// delay sequences.
+func TestScheduleSeedsDiffer(t *testing.T) {
+	pol := Policy{Initial: 10 * time.Millisecond, Max: time.Second, Jitter: 1}
+	a, b := New(pol, 1), New(pol, 2)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fully-jittered schedules")
+	}
+}
+
+// TestScheduleEnvelope checks the exponential envelope: with jitter J,
+// every delay lies in [(1-J)*base, base] where base doubles per attempt
+// until Max.
+func TestScheduleEnvelope(t *testing.T) {
+	pol := Policy{Initial: 8 * time.Millisecond, Max: 100 * time.Millisecond, Multiplier: 2, Jitter: 0.25}
+	s := New(pol, 7)
+	base := float64(pol.Initial)
+	for i := 0; i < 10; i++ {
+		d := float64(s.Next())
+		lo, hi := base*(1-pol.Jitter), base
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, time.Duration(d), time.Duration(lo), time.Duration(hi))
+		}
+		base *= 2
+		if base > float64(pol.Max) {
+			base = float64(pol.Max)
+		}
+	}
+}
+
+// TestScheduleNoJitterExact pins the exact unjittered sequence — the
+// arithmetic itself, independent of any RNG.
+func TestScheduleNoJitterExact(t *testing.T) {
+	s := New(Policy{Initial: 5 * time.Millisecond, Max: 40 * time.Millisecond, Multiplier: 2, Jitter: 0}, 0)
+	want := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 40 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("attempt %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var sleeps []time.Duration
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5, Jitter: 0},
+		1, func(d time.Duration) { sleeps = append(sleeps, d) }, nil,
+		func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 3 || len(sleeps) != 2 {
+		t.Fatalf("calls = %d (want 3), sleeps = %d (want 2)", calls, len(sleeps))
+	}
+}
+
+func TestDoBoundedAttempts(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	err := Do(context.Background(), Policy{MaxAttempts: 4}, 1,
+		func(time.Duration) {}, nil,
+		func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 4 {
+		t.Fatalf("err = %v, calls = %d; want boom after exactly 4 attempts", err, calls)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 5}, 1,
+		func(time.Duration) {}, func(err error) bool { return !errors.Is(err, fatal) },
+		func() error { calls++; return fatal })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want fatal after 1 attempt", err, calls)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 5}, 1,
+		func(time.Duration) {}, nil,
+		func() error { calls++; cancel(); return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want context.Canceled after 1 attempt", err, calls)
+	}
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerules/internal/analysis"
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+)
+
+// Degraded-mode guarantees (paper §7). When the breaker quarantines a
+// rule, the served rule set shrinks from R to R' = R \ Q. What does the
+// reduced system still guarantee? Definition 7.1 answers per table: the
+// significant set Sig(T) is exactly the rules that can directly or
+// indirectly affect T's final contents, so
+//
+//	Q ∩ Sig(T) = ∅  ⇒  quarantining Q cannot change T's final contents.
+//
+// Such tables are UNAFFECTED: the degraded server computes the same
+// final contents for them as a healthy one (on executions where the
+// quarantined rules would not have faulted). For the remaining tables
+// we fall back to the §7 analysis of the reduced set itself: a
+// PartialConfluence verdict over R' says whether the degraded system is
+// at least still deterministic for that table, even though its contents
+// may differ from the healthy system's.
+
+// TableGuarantee is the degraded-mode verdict for one table.
+type TableGuarantee struct {
+	// Table is the table name.
+	Table string
+	// Unaffected reports that no quarantined rule is in the full rule
+	// set's Sig(Table): by Definition 7.1, the quarantine cannot change
+	// this table's final contents.
+	Unaffected bool
+	// SigQuarantined lists the quarantined rules that ARE significant
+	// for the table (sorted; empty iff Unaffected).
+	SigQuarantined []string
+	// Confluent is the reduced rule set's partial-confluence verdict for
+	// the table: does the degraded system remain deterministic here?
+	Confluent bool
+	// WasConfluent is the full rule set's baseline verdict, computed at
+	// server start, so reports can distinguish "lost determinism to the
+	// quarantine" from "was never guaranteed".
+	WasConfluent bool
+}
+
+// DegradedReport describes the serving guarantees under the current
+// quarantine set. Its String form is deterministic: equal quarantine
+// and probing sets yield byte-identical reports.
+type DegradedReport struct {
+	// Quarantined lists rules with an open breaker (sorted).
+	Quarantined []string
+	// Probing lists half-open rules currently readmitted for a live
+	// probe (sorted).
+	Probing []string
+	// Degraded reports whether any table's contents can be affected by
+	// the quarantine (i.e. some table is not Unaffected).
+	Degraded bool
+	// Tables holds one verdict per served table, sorted by name.
+	Tables []TableGuarantee
+}
+
+// String renders the report deterministically, one line per table.
+func (r *DegradedReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "quarantined: %s\n", nameList(r.Quarantined))
+	fmt.Fprintf(&b, "probing: %s\n", nameList(r.Probing))
+	if !r.Degraded {
+		b.WriteString("mode: full service (no table affected by quarantine)\n")
+	} else {
+		b.WriteString("mode: DEGRADED\n")
+	}
+	for _, t := range r.Tables {
+		if t.Unaffected {
+			fmt.Fprintf(&b, "table %s: unaffected (Sig ∩ quarantine = ∅); confluent=%v (was %v)\n",
+				t.Table, t.Confluent, t.WasConfluent)
+		} else {
+			fmt.Fprintf(&b, "table %s: DEGRADED (significant rules quarantined: %s); reduced-set confluent=%v (was %v)\n",
+				t.Table, nameList(t.SigQuarantined), t.Confluent, t.WasConfluent)
+		}
+	}
+	return b.String()
+}
+
+func nameList(names []string) string {
+	if len(names) == 0 {
+		return "[]"
+	}
+	return "[" + strings.Join(names, " ") + "]"
+}
+
+// degradedAnalysis precomputes the full-set baseline once and derives
+// reduced-set reports as the quarantine set evolves. All methods run on
+// the worker goroutine.
+type degradedAnalysis struct {
+	sch    *schema.Schema
+	defs   []rules.Definition
+	tables []string // report tables, sorted
+
+	// Baseline over the full set, computed once at construction.
+	fullSig  map[string]map[string]bool // table -> Sig(table) names
+	fullConf map[string]bool            // table -> confluence guaranteed
+}
+
+func newDegradedAnalysis(sch *schema.Schema, defs []rules.Definition, tables []string) (*degradedAnalysis, error) {
+	if len(tables) == 0 {
+		for _, t := range sch.SortedTables() {
+			tables = append(tables, t.Name)
+		}
+	} else {
+		tables = append([]string(nil), tables...)
+	}
+	sort.Strings(tables)
+	full, err := rules.NewSet(sch, defs)
+	if err != nil {
+		return nil, err
+	}
+	a := analysis.New(full, nil)
+	da := &degradedAnalysis{
+		sch:      sch,
+		defs:     defs,
+		tables:   tables,
+		fullSig:  map[string]map[string]bool{},
+		fullConf: map[string]bool{},
+	}
+	for _, t := range tables {
+		v := a.PartialConfluence([]string{t})
+		sig := map[string]bool{}
+		for _, name := range v.SigNames() {
+			sig[name] = true
+		}
+		da.fullSig[t] = sig
+		da.fullConf[t] = v.Guaranteed()
+	}
+	return da, nil
+}
+
+// activeDefs filters the definitions down to the rules not in removed,
+// scrubbing ordering references to removed rules so the reduced set
+// still validates.
+func activeDefs(defs []rules.Definition, removed map[string]bool) []rules.Definition {
+	out := make([]rules.Definition, 0, len(defs))
+	for _, d := range defs {
+		if removed[d.Name] {
+			continue
+		}
+		d.Precedes = dropNames(d.Precedes, removed)
+		d.Follows = dropNames(d.Follows, removed)
+		out = append(out, d)
+	}
+	return out
+}
+
+func dropNames(names []string, removed map[string]bool) []string {
+	var out []string
+	for _, n := range names {
+		if !removed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// report builds the degraded-mode report for the given quarantine and
+// probing sets (both sorted by the caller). A probing rule is live, so
+// only the quarantined set reduces the analyzed rule set.
+func (da *degradedAnalysis) report(quarantined, probing []string) (*DegradedReport, error) {
+	rep := &DegradedReport{
+		Quarantined: append([]string(nil), quarantined...),
+		Probing:     append([]string(nil), probing...),
+	}
+	q := map[string]bool{}
+	for _, n := range quarantined {
+		q[n] = true
+	}
+	var reduced *analysis.Analyzer
+	if len(q) > 0 {
+		set, err := rules.NewSet(da.sch, activeDefs(da.defs, q))
+		if err != nil {
+			return nil, fmt.Errorf("serve: reduced rule set invalid: %w", err)
+		}
+		reduced = analysis.New(set, nil)
+	}
+	for _, t := range da.tables {
+		// When Q ∩ Sig(t) = ∅ the removed rules are all non-significant
+		// for t, so Sig_reduced(t) = Sig_full(t) and the confluence
+		// verdict carries over unchanged — no need to re-analyze.
+		g := TableGuarantee{
+			Table:        t,
+			Unaffected:   true,
+			WasConfluent: da.fullConf[t],
+			Confluent:    da.fullConf[t],
+		}
+		for _, n := range quarantined {
+			if da.fullSig[t][n] {
+				g.SigQuarantined = append(g.SigQuarantined, n)
+			}
+		}
+		if len(g.SigQuarantined) > 0 {
+			g.Unaffected = false
+			rep.Degraded = true
+			g.Confluent = reduced.PartialConfluence([]string{t}).Guaranteed()
+		}
+		rep.Tables = append(rep.Tables, g)
+	}
+	return rep, nil
+}

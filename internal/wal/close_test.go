@@ -1,0 +1,84 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"activerules/internal/schema"
+	"activerules/internal/storage"
+)
+
+// TestCloseIdempotent pins the drain-path contract: the first Close
+// flushes and syncs, the second returns nil, and journal or observer
+// writes after Close surface ErrClosed instead of panicking on a
+// released handle.
+func TestCloseIdempotent(t *testing.T) {
+	sch := schema.MustParse("table t (v int)")
+	fsys := NewMemFS()
+	d, err := Open("wal", sch, Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+
+	// Journal writes after Close: typed sticky error, no panic.
+	if err := d.Commit(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Commit after Close = %v, want ErrClosed", err)
+	}
+	if err := d.Begin(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Begin after Close = %v, want ErrClosed", err)
+	}
+	if err := d.Abort(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Abort after Close = %v, want ErrClosed", err)
+	}
+	// Observer writes after Close must not panic either; the sticky
+	// error reports them.
+	d.ObserveInsert("t", 1, nil)
+	if err := d.Err(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Err after post-Close observe = %v, want ErrClosed", err)
+	}
+
+	// And a third Close still returns nil: ErrClosed is a liveness
+	// diagnostic, not a close failure.
+	if err := d.Close(); err != nil {
+		t.Errorf("third Close = %v, want nil", err)
+	}
+}
+
+// TestCloseAfterCloseDoesNotLoseDurability reopens the directory after
+// a double Close and checks the committed state survived intact.
+func TestCloseAfterCloseDoesNotLoseDurability(t *testing.T) {
+	sch := schema.MustParse("table t (v int)")
+	fsys := NewMemFS()
+	d, err := Open("wal", sch, Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := d.State()
+	db.SetObserver(d)
+	if _, err := db.Insert("t", []storage.Value{storage.IntV(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Fingerprint()
+	d.Close()
+	d.Close()
+
+	rdb, _, err := Recover("wal", sch, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rdb.Fingerprint() != want {
+		t.Error("recovered state differs after idempotent double Close")
+	}
+}

@@ -17,6 +17,12 @@ import (
 // foundation itself is bad. ruleexec maps it to exit code 7.
 var ErrUnrecoverable = errors.New("wal: unrecoverable log")
 
+// ErrClosed is the sticky error of every journal or observer write that
+// reaches a closed log: Close is a durability boundary, and anything
+// after it must fail loudly (as a typed error, never a panic) instead
+// of silently dropping records.
+var ErrClosed = errors.New("wal: log is closed")
+
 const snapName = "snapshot.db"
 
 func logName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
@@ -170,7 +176,9 @@ func (d *DurableDB) ObserveUpdate(table string, id storage.TupleID, col string, 
 	d.log.ObserveUpdate(table, id, col, v)
 }
 
-// Close flushes and syncs the log and releases the file handle.
+// Close flushes and syncs the log and releases the file handle. Close
+// is idempotent — a second Close returns nil — and terminal: journal
+// or observer writes after Close fail with ErrClosed.
 func (d *DurableDB) Close() error { return d.log.close() }
 
 // Checkpoint rotates to a new generation: it makes the current log

@@ -88,6 +88,7 @@ type Log struct {
 
 	buf     []byte
 	err     error
+	closed  bool
 	commits int // commits since the last fsync (group commit)
 
 	// appended counts records accepted since open, by rough class, for
@@ -113,8 +114,13 @@ func (l *Log) Mutations() int { return l.mutations }
 
 // append frames rec into the buffer, spilling to the file when the
 // buffer outgrows the threshold (without fsync — an uncommitted tail on
-// disk is harmless, recovery discards it).
+// disk is harmless, recovery discards it). Appending to a closed log is
+// a sticky ErrClosed, never a nil-handle panic: the drain path closes
+// the log while an engine may still hold a journal reference to it.
 func (l *Log) append(rec Record) {
+	if l.closed && l.err == nil {
+		l.err = ErrClosed
+	}
 	if l.err != nil {
 		return
 	}
@@ -141,6 +147,9 @@ func (l *Log) flush() {
 }
 
 func (l *Log) sync() {
+	if l.closed && l.err == nil {
+		l.err = ErrClosed
+	}
 	if l.err != nil {
 		return
 	}
@@ -207,11 +216,18 @@ func (l *Log) ObserveUpdate(table string, id storage.TupleID, col string, v stor
 }
 
 // close flushes, syncs, and closes the file. The first error wins.
+// Closing twice is a no-op returning nil: the drain path may race a
+// deferred cleanup close, and the second caller has nothing left to
+// lose durability over.
 func (l *Log) close() error {
+	if l.closed {
+		return nil
+	}
 	l.flush()
 	if l.opts.Sync != SyncNever {
 		l.sync()
 	}
+	l.closed = true
 	if cerr := l.f.Close(); cerr != nil && l.err == nil {
 		l.err = fmt.Errorf("wal: close: %w", cerr)
 	}
