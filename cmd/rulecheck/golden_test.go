@@ -45,6 +45,9 @@ func TestGolden(t *testing.T) {
 		{"bank-tables", []string{"-schema", bankSchema, "-rules", bankRules, "-cert", bankCerts, "-tables", "audit"}, 0},
 		{"bank-stats", []string{"-schema", bankSchema, "-rules", bankRules, "-stats", "-cert", bankCerts}, 0},
 		{"bank-autorepair", []string{"-schema", bankSchema, "-rules", bankRules, "-autorepair"}, 0},
+		{"bank-shard-plan", []string{"-schema", bankSchema, "-rules", bankRules, "-shard-plan"}, 0},
+		{"bank-shard-plan-json", []string{"-schema", bankSchema, "-rules", bankRules, "-shard-plan", "-json"}, 0},
+		{"powernet-shard-plan", []string{"-schema", powerSchema, "-rules", powerRules, "-shard-plan"}, 0},
 		{"powernet-report", []string{"-schema", powerSchema, "-rules", powerRules}, 1},
 		{"powernet-dot", []string{"-schema", powerSchema, "-rules", powerRules, "-dot"}, 0},
 		{"lintdemo-report", []string{"-schema", lintSchema, "-rules", lintRules}, 1},
@@ -100,9 +103,12 @@ func TestGoldenStableAcrossParallelism(t *testing.T) {
 		{"-schema", lintSchema, "-rules", lintRules, "-refine", "-json"},
 		{"-schema", lintSchema, "-rules", lintRules, "-lint"},
 		{"-schema", lintSchema, "-rules", lintRules, "-lint", "-json"},
+		{"-schema", bankSchema, "-rules", bankRules, "-shard-plan"},
+		{"-schema", bankSchema, "-rules", bankRules, "-shard-plan", "-json"},
 	}
 	goldens := []string{"bank-report", "bank-report-cert", "bank-json", "powernet-report",
-		"lintdemo-refined", "lintdemo-refined-json", "lintdemo-lint", "lintdemo-lint-json"}
+		"lintdemo-refined", "lintdemo-refined-json", "lintdemo-lint", "lintdemo-lint-json",
+		"bank-shard-plan", "bank-shard-plan-json"}
 	for i, args := range cases {
 		want, err := os.ReadFile(filepath.Join("testdata", goldens[i]+".golden"))
 		if err != nil {

@@ -22,6 +22,10 @@
 //	-lint           run the rulelint diagnostics (RL0xx codes) instead of
 //	                the property analyses; combine with -json for
 //	                machine-readable output
+//	-shard-plan     print the maximal analysis-proven shard plan (Section
+//	                7: table groups with pairwise-disjoint Sig, plus the
+//	                rules/edges blocking a finer partition) and exit;
+//	                combine with -json for machine-readable output
 //	-quiet          print only the one-line verdict summary
 //
 // The certification file carries the facts a user has verified in the
@@ -78,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallel := fs.Int("parallel", 1, "analysis worker count (0 = one per CPU, 1 = sequential)")
 	refine := fs.Bool("refine", false, "enable condition-aware refinement (predicate abstraction)")
 	lint := fs.Bool("lint", false, "run the rulelint diagnostics instead of the property analyses")
+	shardPlan := fs.Bool("shard-plan", false, "print the maximal analysis-proven shard plan and exit")
 	quiet := fs.Bool("quiet", false, "print only the verdict summary")
 	jsonOut := fs.Bool("json", false, "emit the verdicts as JSON")
 	stats := fs.Bool("stats", false, "include rule-set statistics in the report")
@@ -133,6 +138,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		if lr.HasErrors() {
 			return 3
+		}
+		return 0
+	}
+
+	if *shardPlan {
+		plan := sys.ShardPlan()
+		if *jsonOut {
+			b, err := json.MarshalIndent(plan, "", "  ")
+			if err != nil {
+				fmt.Fprintln(stderr, "rulecheck:", err)
+				return 2
+			}
+			stdout.Write(b)
+			fmt.Fprintln(stdout)
+		} else {
+			fmt.Fprint(stdout, plan.String())
 		}
 		return 0
 	}

@@ -12,6 +12,17 @@
 //
 //	-listen addr     serve TCP on addr (e.g. 127.0.0.1:7070); when
 //	                 empty (the default), serve stdin/stdout
+//	-shards n        run one engine+WAL per analysis-proven shard
+//	                 (Section 7: disjoint Sig(T') groups), coalesced to
+//	                 at most n shards, routing each assert to the shard
+//	                 owning its tables; cross-shard requests are
+//	                 rejected with code "shard". 0 (default) serves one
+//	                 unsharded engine
+//	-replicate addr  also stream the WAL to follower replicas
+//	                 connecting on addr (unsharded mode only)
+//	-follow addr     run as a read-only follower replicating from the
+//	                 ruled -replicate source at addr; serves health and
+//	                 stats, rejects asserts with code "read-only"
 //	-queue-depth n   admission queue bound (default 64)
 //	-deadline d      default per-request deadline (0 = none); requests
 //	                 may override with "deadline_ms"
@@ -33,7 +44,7 @@
 //
 // Every response carries "ok"; failures add "error" and a stable
 // "code": overload | deadline | closed | exec | livelock | maxsteps |
-// cancelled | durability | bad-request.
+// cancelled | durability | shard | read-only | bad-request.
 //
 // Exit status:
 //
@@ -41,6 +52,7 @@
 //	2  usage or load errors, or an internal error
 //	7  the -wal directory is unrecoverable
 //	8  the drain deadline expired before in-flight work completed
+//	9  replication failure (-replicate or -follow could not start)
 package main
 
 import (
@@ -83,6 +95,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	rulesPath := fs.String("rules", "", "rule definition file (required)")
 	walDir := fs.String("wal", "", "write-ahead log directory (required; recovered on start)")
 	listen := fs.String("listen", "", "TCP listen address (empty = stdin/stdout)")
+	shards := fs.Int("shards", 0, "engines: one per analysis-proven shard, at most n (0 = unsharded)")
+	replicate := fs.String("replicate", "", "stream the WAL to followers on this address (unsharded only)")
+	follow := fs.String("follow", "", "run as a read-only follower of the source at this address")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue bound (0 = 64)")
 	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown")
@@ -118,7 +133,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 
-	srv, err := sys.NewServer(*walDir, activerules.ServeConfig{
+	cfg := activerules.ServeConfig{
 		WAL:                 activerules.WALOptions{Sync: policy, GroupCommit: *groupCommit},
 		Engine:              activerules.EngineOptions{MaxSteps: *maxSteps, Strategy: strat},
 		QueueDepth:          *queueDepth,
@@ -127,14 +142,62 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		QuarantineThreshold: *quarantine,
 		DisableProbing:      *noProbe,
 		Seed:                *seed,
-	})
-	if err != nil {
-		if errors.Is(err, activerules.ErrUnrecoverableLog) {
-			fmt.Fprintln(stderr, "ruled: unrecoverable write-ahead log:", err)
-			return 7
+	}
+
+	var b backend
+	var shutdown func(context.Context) error
+	switch {
+	case *follow != "":
+		if *shards > 0 || *replicate != "" {
+			fmt.Fprintln(stderr, "ruled: -follow excludes -shards and -replicate")
+			return 2
 		}
-		fmt.Fprintln(stderr, "ruled:", err)
-		return 2
+		fol, err := sys.NewFollower(*walDir, *follow, activerules.FollowerConfig{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(stderr, "ruled: replication:", err)
+			return 9
+		}
+		b = followerBackend{fol}
+		shutdown = func(context.Context) error { return fol.Close() }
+	case *shards > 0:
+		if *replicate != "" {
+			fmt.Fprintln(stderr, "ruled: -replicate streams one WAL; use it without -shards")
+			return 2
+		}
+		g, err := sys.NewShardGroup(*walDir, *shards, cfg)
+		if err != nil {
+			if errors.Is(err, activerules.ErrUnrecoverableLog) {
+				fmt.Fprintln(stderr, "ruled: unrecoverable write-ahead log:", err)
+				return 7
+			}
+			fmt.Fprintln(stderr, "ruled:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "ruled: %d shard(s)\n", g.NumShards())
+		b = shardBackend{g}
+		shutdown = g.Shutdown
+	default:
+		srv, err := sys.NewServer(*walDir, cfg)
+		if err != nil {
+			if errors.Is(err, activerules.ErrUnrecoverableLog) {
+				fmt.Fprintln(stderr, "ruled: unrecoverable write-ahead log:", err)
+				return 7
+			}
+			fmt.Fprintln(stderr, "ruled:", err)
+			return 2
+		}
+		if *replicate != "" {
+			src, err := activerules.NewReplicaSource(srv, *replicate, activerules.ReplicaSourceConfig{})
+			if err != nil {
+				srv.Close()
+				fmt.Fprintln(stderr, "ruled: replication:", err)
+				return 9
+			}
+			defer src.Close()
+			fmt.Fprintf(stdout, "ruled: replicating on %s\n", src.Addr())
+		}
+		b = flatBackend{srv}
+		shutdown = srv.Shutdown
 	}
 
 	// stop coordinates the three shutdown triggers: a signal, input
@@ -170,7 +233,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 				}
 				go func() {
 					defer conn.Close()
-					serveLines(srv, conn, conn, requestStop)
+					serveLines(b, conn, conn, requestStop)
 				}()
 			}
 		}()
@@ -178,7 +241,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		ln.Close()
 	} else {
 		go func() {
-			serveLines(srv, stdin, stdout, requestStop)
+			serveLines(b, stdin, stdout, requestStop)
 			requestStop() // EOF on stdin drains the server
 		}()
 		<-stop
@@ -186,7 +249,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	err = srv.Shutdown(ctx)
+	err = shutdown(ctx)
 	if ctx.Err() != nil {
 		fmt.Fprintln(stderr, "ruled: drain deadline exceeded; queued work was shed")
 		return 8
@@ -213,7 +276,123 @@ type wireReq struct {
 // serveLines reads JSON lines from r and writes one JSON response line
 // per request to w. Writes are serialized so concurrent asserts from
 // one peer interleave whole lines.
-func serveLines(srv *activerules.Server, r io.Reader, w io.Writer, requestStop func()) {
+// backend abstracts the three serving modes — one server, a shard
+// group, a read-only follower — behind the wire protocol.
+type backend interface {
+	assert(ctx context.Context, req activerules.ServeRequest) (*activerules.ServeResponse, error)
+	checkpoint(ctx context.Context) error
+	healthBody() map[string]any
+	statsBody() map[string]any
+}
+
+// errReadOnly rejects mutating ops on a follower (code "read-only").
+var errReadOnly = errors.New("follower is read-only; send asserts to the leader")
+
+type flatBackend struct{ srv *activerules.Server }
+
+func (b flatBackend) assert(ctx context.Context, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	return b.srv.Submit(ctx, req)
+}
+func (b flatBackend) checkpoint(ctx context.Context) error { return b.srv.Checkpoint(ctx) }
+func (b flatBackend) healthBody() map[string]any           { return healthFields(b.srv.Health()) }
+func (b flatBackend) statsBody() map[string]any            { return statsFields(b.srv.Stats()) }
+
+type shardBackend struct{ g *activerules.ShardGroup }
+
+func (b shardBackend) assert(ctx context.Context, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	return b.g.Submit(ctx, req)
+}
+func (b shardBackend) checkpoint(ctx context.Context) error { return b.g.Checkpoint(ctx) }
+
+func (b shardBackend) healthBody() map[string]any {
+	hs := b.g.Health()
+	ready, degraded := true, false
+	perShard := make([]map[string]any, len(hs))
+	state := hs[0].State
+	for i, h := range hs {
+		ready = ready && h.Ready
+		degraded = degraded || h.Degraded
+		if h.State != state {
+			state = "mixed"
+		}
+		perShard[i] = healthFields(h)
+	}
+	return map[string]any{
+		"ok": true, "state": state, "ready": ready, "degraded": degraded,
+		"shards": perShard,
+	}
+}
+
+func (b shardBackend) statsBody() map[string]any {
+	sts := b.g.Stats()
+	perShard := make([]map[string]any, len(sts))
+	var accepted, completed, failed uint64
+	for i, st := range sts {
+		accepted += st.Accepted
+		completed += st.Completed
+		failed += st.Failed
+		perShard[i] = statsFields(st)
+	}
+	return map[string]any{
+		"ok": true, "accepted": accepted, "completed": completed, "failed": failed,
+		"shards": perShard,
+	}
+}
+
+type followerBackend struct{ f *activerules.Follower }
+
+func (b followerBackend) assert(context.Context, activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	return nil, errReadOnly
+}
+func (b followerBackend) checkpoint(context.Context) error { return errReadOnly }
+func (b followerBackend) healthBody() map[string]any {
+	h := b.f.Health()
+	body := map[string]any{
+		"ok":         true,
+		"state":      h.State,
+		"ready":      h.State == "following",
+		"gen":        h.Gen,
+		"off":        h.Off,
+		"state_hash": h.StateHash,
+	}
+	if h.LastErr != "" {
+		body["last_error"] = h.LastErr
+	}
+	return body
+}
+func (b followerBackend) statsBody() map[string]any { return b.healthBody() }
+
+func healthFields(h activerules.ServerHealth) map[string]any {
+	return map[string]any{
+		"ok":          true,
+		"state":       h.State,
+		"ready":       h.Ready,
+		"degraded":    h.Degraded,
+		"quarantined": h.Report.Quarantined,
+		"probing":     h.Report.Probing,
+		"report":      h.Report.String(),
+	}
+}
+
+func statsFields(st activerules.ServerStats) map[string]any {
+	return map[string]any{
+		"ok":             true,
+		"state":          st.State,
+		"queue_len":      st.QueueLen,
+		"queue_cap":      st.QueueCap,
+		"accepted":       st.Accepted,
+		"completed":      st.Completed,
+		"failed":         st.Failed,
+		"shed_overload":  st.ShedOverload,
+		"shed_deadline":  st.ShedDeadline,
+		"reopens":        st.Reopens,
+		"avg_service_ns": int64(st.AvgService),
+		"quarantined":    st.Quarantined,
+		"probing":        st.Probing,
+	}
+}
+
+func serveLines(b backend, r io.Reader, w io.Writer, requestStop func()) {
 	var wmu sync.Mutex
 	enc := json.NewEncoder(w)
 	respond := func(v map[string]any) {
@@ -235,7 +414,7 @@ func serveLines(srv *activerules.Server, r io.Reader, w io.Writer, requestStop f
 		}
 		switch req.Op {
 		case "assert":
-			resp, err := srv.Submit(context.Background(), activerules.ServeRequest{
+			resp, err := b.assert(context.Background(), activerules.ServeRequest{
 				SQL:      req.SQL,
 				Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
 			})
@@ -245,35 +424,11 @@ func serveLines(srv *activerules.Server, r io.Reader, w io.Writer, requestStop f
 			}
 			respond(assertBody(resp))
 		case "health":
-			h := srv.Health()
-			respond(map[string]any{
-				"ok":          true,
-				"state":       h.State,
-				"ready":       h.Ready,
-				"degraded":    h.Degraded,
-				"quarantined": h.Report.Quarantined,
-				"probing":     h.Report.Probing,
-				"report":      h.Report.String(),
-			})
+			respond(b.healthBody())
 		case "stats":
-			st := srv.Stats()
-			respond(map[string]any{
-				"ok":             true,
-				"state":          st.State,
-				"queue_len":      st.QueueLen,
-				"queue_cap":      st.QueueCap,
-				"accepted":       st.Accepted,
-				"completed":      st.Completed,
-				"failed":         st.Failed,
-				"shed_overload":  st.ShedOverload,
-				"shed_deadline":  st.ShedDeadline,
-				"reopens":        st.Reopens,
-				"avg_service_ns": int64(st.AvgService),
-				"quarantined":    st.Quarantined,
-				"probing":        st.Probing,
-			})
+			respond(b.statsBody())
 		case "checkpoint":
-			if err := srv.Checkpoint(context.Background()); err != nil {
+			if err := b.checkpoint(context.Background()); err != nil {
 				respond(errorBody(err))
 				continue
 			}
@@ -335,7 +490,12 @@ func errorBody(err error) map[string]any {
 	var le *activerules.LivelockError
 	var cancelled *activerules.CancelledError
 	var dur *activerules.DurabilityError
+	var she *activerules.ShardError
 	switch {
+	case errors.As(err, &she):
+		code = "shard"
+	case errors.Is(err, errReadOnly):
+		code = "read-only"
 	case errors.As(err, &oe):
 		code = "overload"
 	case errors.As(err, &de):

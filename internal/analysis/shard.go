@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"activerules/internal/rules"
+)
+
+// Shard planning (Section 7, applied to horizontal scale). Theorem 7.2
+// makes rule processing with respect to a table set T' depend only on
+// Sig(T'); if two table sets have disjoint significant-rule sets, rule
+// processing on them commutes, so independent engines may serve them
+// with no coordination and every per-table outcome — contents and
+// confluence verdict alike — matches the unsharded system.
+//
+// The planner computes the MAXIMAL such partition. The key structural
+// fact is that the Sig closure distributes over union:
+//
+//	Sig(A ∪ B) = Sig(A) ∪ Sig(B)
+//
+// because both the base ("performs an op on a table of T'") and the
+// closure step ("does not commute with a member") are pointwise: a rule
+// joins the fixpoint of A ∪ B through a chain of noncommuting members
+// that starts at a performer on a single table, and that whole chain
+// lives inside Sig(A) or inside Sig(B). So per-table significant sets
+// Sig({t}) carry all the information, and the maximal partition is the
+// connected-component structure of three merge relations:
+//
+//	significance — a rule significant for two tables forces them
+//	  together (otherwise the shards' Sig sets would intersect);
+//	footprint — the tables a rule triggers on, reads, and writes must
+//	  be co-resident, or the rule could not execute inside one engine;
+//	priority — ordered rules must share an engine, or the scheduler
+//	  could not honor the ordering, so their footprints merge.
+//
+// Every merge is also a named blocker: the rule or priority edge that
+// prevents a finer partition, reported rulelint-style.
+
+// ShardGroup is one shard of the plan: a set of tables served by one
+// engine running exactly the listed rules.
+type ShardGroup struct {
+	// Tables are the shard's tables, sorted.
+	Tables []string `json:"tables"`
+	// Rules are the names of the rules whose footprint lives in this
+	// shard, sorted. Every rule of the set lands in exactly one shard.
+	Rules []string `json:"rules"`
+	// Sig is Sig(Tables) under the full rule set, sorted. By the union
+	// distributivity above it always is a subset of Rules.
+	Sig []string `json:"sig"`
+	// Confluent is the full analyzer's partial-confluence verdict for
+	// this shard's tables (Theorem 7.2).
+	Confluent bool `json:"confluent"`
+}
+
+// Blocker kinds.
+const (
+	// BlockFootprint: a single rule's trigger/read/write tables span the
+	// listed tables.
+	BlockFootprint = "footprint"
+	// BlockSignificance: one rule is significant (Definition 7.1) for
+	// every listed table.
+	BlockSignificance = "significance"
+	// BlockPriority: a priority ordering links the two rules, merging
+	// their footprints.
+	BlockPriority = "priority"
+)
+
+// ShardBlocker names one reason the partition cannot be finer: the rule
+// (or priority edge) that forces the listed tables into one shard.
+type ShardBlocker struct {
+	// Kind is one of the Block* constants.
+	Kind string `json:"kind"`
+	// Rule is the responsible rule, or "a>b" for a priority edge.
+	Rule string `json:"rule"`
+	// Tables are the tables the blocker welds together, sorted.
+	Tables []string `json:"tables"`
+}
+
+func (b ShardBlocker) String() string {
+	switch b.Kind {
+	case BlockFootprint:
+		return fmt.Sprintf("rule %s triggers on / reads / writes tables [%s]", b.Rule, strings.Join(b.Tables, " "))
+	case BlockSignificance:
+		return fmt.Sprintf("rule %s is significant for tables [%s]", b.Rule, strings.Join(b.Tables, " "))
+	case BlockPriority:
+		return fmt.Sprintf("priority %s links tables [%s]", b.Rule, strings.Join(b.Tables, " "))
+	default:
+		return fmt.Sprintf("%s %s [%s]", b.Kind, b.Rule, strings.Join(b.Tables, " "))
+	}
+}
+
+// ShardPlan is the maximal analysis-proven partition of the schema's
+// tables into independently servable groups. Its String and JSON forms
+// are deterministic: equal inputs yield byte-identical plans at every
+// analysis parallelism.
+type ShardPlan struct {
+	Shards   []ShardGroup   `json:"shards"`
+	Blockers []ShardBlocker `json:"blockers,omitempty"`
+}
+
+// NumShards returns the number of groups in the plan.
+func (p *ShardPlan) NumShards() int { return len(p.Shards) }
+
+// ShardFor returns the index of the shard holding the table, or -1 when
+// the table is not in the plan.
+func (p *ShardPlan) ShardFor(table string) int {
+	table = strings.ToLower(table)
+	for i, g := range p.Shards {
+		for _, t := range g.Tables {
+			if t == table {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// String renders the plan deterministically.
+func (p *ShardPlan) String() string {
+	var b strings.Builder
+	nrules := 0
+	ntables := 0
+	for _, g := range p.Shards {
+		nrules += len(g.Rules)
+		ntables += len(g.Tables)
+	}
+	fmt.Fprintf(&b, "shard plan: %d shard(s) over %d table(s), %d rule(s)\n", len(p.Shards), ntables, nrules)
+	for i, g := range p.Shards {
+		fmt.Fprintf(&b, "shard %d: tables [%s] rules [%s] sig [%s] confluent=%v\n",
+			i, strings.Join(g.Tables, " "), strings.Join(g.Rules, " "),
+			strings.Join(g.Sig, " "), g.Confluent)
+	}
+	if len(p.Blockers) == 0 {
+		b.WriteString("blockers: none (every table is independently servable)\n")
+	} else {
+		b.WriteString("blockers (what prevents a finer partition):\n")
+		for _, bl := range p.Blockers {
+			fmt.Fprintf(&b, "  %s\n", bl.String())
+		}
+	}
+	return b.String()
+}
+
+// MarshalJSON emits the deterministic machine-readable plan.
+func (p *ShardPlan) MarshalJSON() ([]byte, error) {
+	type alias ShardPlan
+	return json.Marshal((*alias)(p))
+}
+
+// ShardPlan computes the maximal partition of the schema's tables into
+// groups with pairwise-disjoint Sig(T'), together with the blockers
+// that prevent a finer one. The plan is a pure function of the rule
+// set, certifications, and view; parallelism only changes how fast the
+// per-table Sig sets are computed, never their contents.
+func (a *Analyzer) ShardPlan() *ShardPlan {
+	tables := make([]string, 0, a.set.Schema().NumTables())
+	for _, t := range a.set.Schema().SortedTables() {
+		tables = append(tables, strings.ToLower(t.Name))
+	}
+	slot := make(map[string]int, len(tables))
+	for i, t := range tables {
+		slot[t] = i
+	}
+
+	// Per-table significant sets; Sig(T') for any T' is their union.
+	sigOf := make([][]*rules.Rule, len(tables))
+	for i, t := range tables {
+		sigOf[i] = a.Sig([]string{t})
+	}
+
+	// Union-find over table slots.
+	parent := make([]int, len(tables))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(x, y int) { parent[find(x)] = find(y) }
+
+	var blockers []ShardBlocker
+	weld := func(kind, rule string, ts []string) {
+		if len(ts) < 2 {
+			return
+		}
+		for _, t := range ts[1:] {
+			union(slot[ts[0]], slot[t])
+		}
+		blockers = append(blockers, ShardBlocker{Kind: kind, Rule: rule, Tables: ts})
+	}
+
+	// Footprint: a rule's trigger, read, and write tables are co-resident.
+	footOf := make([][]string, a.set.Len())
+	for _, r := range a.set.Rules() {
+		foot := map[string]bool{strings.ToLower(r.Table): true}
+		for op := range a.view.performs(r) {
+			foot[op.Table] = true
+		}
+		for ref := range a.view.reads(r) {
+			foot[ref.Table] = true
+		}
+		ts := sortedKeys(foot, slot)
+		footOf[r.Index()] = ts
+		weld(BlockFootprint, r.Name, ts)
+	}
+
+	// Significance: a rule in Sig({t1}) and Sig({t2}) welds t1 and t2.
+	sigTables := make(map[int][]string) // rule index -> tables it is significant for
+	for i, t := range tables {
+		for _, r := range sigOf[i] {
+			sigTables[r.Index()] = append(sigTables[r.Index()], t)
+		}
+	}
+	for _, r := range a.set.Rules() {
+		weld(BlockSignificance, r.Name, sigTables[r.Index()])
+	}
+
+	// Priority: ordered rules share an engine, so their footprints merge.
+	for _, ri := range a.set.Rules() {
+		for _, rj := range a.set.Rules() {
+			if ri.Index() < rj.Index() && a.set.Ordered(ri, rj) {
+				joint := map[string]bool{}
+				for _, t := range footOf[ri.Index()] {
+					joint[t] = true
+				}
+				for _, t := range footOf[rj.Index()] {
+					joint[t] = true
+				}
+				hi, lo := ri, rj
+				if a.set.Higher(rj, ri) {
+					hi, lo = rj, ri
+				}
+				weld(BlockPriority, hi.Name+">"+lo.Name, sortedKeys(joint, slot))
+			}
+		}
+	}
+
+	// Collect groups, canonical order: by first (smallest-name) table.
+	groupsByRoot := map[int][]string{}
+	for i, t := range tables {
+		root := find(i)
+		groupsByRoot[root] = append(groupsByRoot[root], t)
+	}
+	var groups [][]string
+	for _, g := range groupsByRoot {
+		sort.Strings(g)
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+
+	plan := &ShardPlan{}
+	for _, g := range groups {
+		member := map[string]bool{}
+		for _, t := range g {
+			member[t] = true
+		}
+		var ruleNames []string
+		for _, r := range a.set.Rules() {
+			// Every footprint table of a rule is welded together, so
+			// membership of the first decides membership of the rule.
+			if len(footOf[r.Index()]) > 0 && member[footOf[r.Index()][0]] {
+				ruleNames = append(ruleNames, r.Name)
+			}
+		}
+		sort.Strings(ruleNames)
+		v := a.PartialConfluence(g)
+		plan.Shards = append(plan.Shards, ShardGroup{
+			Tables:    g,
+			Rules:     ruleNames,
+			Sig:       v.SigNames(),
+			Confluent: v.Guaranteed(),
+		})
+	}
+
+	// Blockers in deterministic order: kind, then rule, then tables.
+	sort.Slice(blockers, func(i, j int) bool {
+		if blockers[i].Kind != blockers[j].Kind {
+			return blockers[i].Kind < blockers[j].Kind
+		}
+		if blockers[i].Rule != blockers[j].Rule {
+			return blockers[i].Rule < blockers[j].Rule
+		}
+		return strings.Join(blockers[i].Tables, ",") < strings.Join(blockers[j].Tables, ",")
+	})
+	plan.Blockers = blockers
+	return plan
+}
+
+// sortedKeys returns the keys of m that are known tables, sorted.
+func sortedKeys(m map[string]bool, slot map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for t := range m {
+		if _, ok := slot[t]; ok {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

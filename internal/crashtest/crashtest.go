@@ -15,6 +15,11 @@
 // operation of a run — each write, fsync, create, rename, remove,
 // truncate — can be the moment the process dies, with the unsynced tail
 // of every file torn at a seeded random point.
+//
+// The replication soak in internal/replica extends the same oracle
+// across processes: a follower's StateHash must always be one of the
+// leader's durable points, under network faults injected by the net
+// fault domain of internal/faultinject.
 package crashtest
 
 import (

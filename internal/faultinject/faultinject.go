@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"activerules/internal/sqlmini"
 	"activerules/internal/storage"
@@ -82,6 +83,11 @@ type Injector struct {
 	fsCalls int
 	crashed bool
 	fs      any // the FS most recently passed to WrapFS
+
+	// network fault state (net.go); guarded by netMu because
+	// connection writes run on per-connection goroutines.
+	netMu sync.Mutex
+	net   *netState
 }
 
 // New returns an armed injector for the configuration.

@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network fault domain. The replication source writes one protocol
+// frame per conn.Write, so counting Writes counts frames: the knobs
+// below drop, duplicate, truncate, delay, or sever at exact frame
+// numbers — the frame-level faults a flaky network inflicts on a WAL
+// stream — and the follower's CRC/offset discipline must turn every one
+// of them into a clean reconnect, never divergence.
+//
+// Unlike the storage and fs domains, connection writes happen on
+// per-connection goroutines, so the net state carries its own mutex and
+// its own seeded generator (the injector's main rng stays
+// single-threaded for the engine).
+
+// NetConfig selects which connection writes (frames) fail and how.
+// Counts are 1-based across all connections wrapped by the injector.
+type NetConfig struct {
+	// DropAt silently swallows the Nth frame (reported as written);
+	// the follower sees an offset gap and reconnects. 0 disables.
+	DropAt int
+	// DupAt writes the Nth frame twice; the follower must ignore the
+	// duplicate. 0 disables.
+	DupAt int
+	// TruncAt transfers only a random prefix of the Nth frame and then
+	// severs the connection — a torn frame. 0 disables.
+	TruncAt int
+	// SeverAt closes the connection at the Nth frame without writing
+	// it. 0 disables.
+	SeverAt int
+	// DelayAt stalls the Nth frame by Delay before writing it.
+	// 0 disables.
+	DelayAt int
+	// Delay is the stall for DelayAt; 0 means 1ms.
+	Delay time.Duration
+	// DropP drops each frame independently with this probability,
+	// drawn from a generator seeded with Seed.
+	DropP float64
+	// Seed feeds the net domain's generator.
+	Seed int64
+}
+
+// netState is the injector's shared, mutex-guarded network domain.
+type netState struct {
+	mu     sync.Mutex
+	cfg    NetConfig
+	rng    *rand.Rand
+	writes int
+	faults int
+}
+
+// ConfigureNet arms the network fault domain. Call before WrapNetConn.
+func (in *Injector) ConfigureNet(cfg NetConfig) {
+	if cfg.Delay <= 0 {
+		cfg.Delay = time.Millisecond
+	}
+	in.netMu.Lock()
+	in.net = &netState{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in.netMu.Unlock()
+}
+
+// NetWrites returns the number of connection writes (frames) observed.
+func (in *Injector) NetWrites() int {
+	in.netMu.Lock()
+	defer in.netMu.Unlock()
+	if in.net == nil {
+		return 0
+	}
+	in.net.mu.Lock()
+	defer in.net.mu.Unlock()
+	return in.net.writes
+}
+
+// NetFaults returns the number of network faults injected.
+func (in *Injector) NetFaults() int {
+	in.netMu.Lock()
+	defer in.netMu.Unlock()
+	if in.net == nil {
+		return 0
+	}
+	in.net.mu.Lock()
+	defer in.net.mu.Unlock()
+	return in.net.faults
+}
+
+// WrapNetConn wraps a connection with the injector's network fault
+// domain; pass the method value as the replication source's WrapConn
+// hook. Connections wrapped before ConfigureNet pass writes through
+// untouched.
+func (in *Injector) WrapNetConn(c net.Conn) net.Conn {
+	return &injConn{Conn: c, in: in}
+}
+
+// netAction is the decided fate of one frame write.
+type netAction int
+
+const (
+	netPass netAction = iota
+	netDrop
+	netDup
+	netTrunc
+	netSever
+	netDelay
+)
+
+// netCheck counts one frame write and decides its fate.
+func (in *Injector) netCheck(size int) (netAction, int) {
+	in.netMu.Lock()
+	st := in.net
+	in.netMu.Unlock()
+	if st == nil {
+		return netPass, 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.writes++
+	n := st.writes
+	probabilistic := st.cfg.DropP > 0 && st.rng.Float64() < st.cfg.DropP
+	switch {
+	case st.cfg.SeverAt > 0 && n == st.cfg.SeverAt:
+		st.faults++
+		return netSever, 0
+	case st.cfg.TruncAt > 0 && n == st.cfg.TruncAt:
+		st.faults++
+		k := 0
+		if size > 0 {
+			k = st.rng.Intn(size)
+		}
+		return netTrunc, k
+	case (st.cfg.DropAt > 0 && n == st.cfg.DropAt) || probabilistic:
+		st.faults++
+		return netDrop, 0
+	case st.cfg.DupAt > 0 && n == st.cfg.DupAt:
+		st.faults++
+		return netDup, 0
+	case st.cfg.DelayAt > 0 && n == st.cfg.DelayAt:
+		st.faults++
+		return netDelay, 0
+	}
+	return netPass, 0
+}
+
+// injConn is the fault-injecting connection view.
+type injConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (c *injConn) Write(p []byte) (int, error) {
+	act, k := c.in.netCheck(len(p))
+	switch act {
+	case netDrop:
+		// Swallowed in flight: the sender believes it was delivered.
+		return len(p), nil
+	case netDup:
+		if n, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(p)
+	case netTrunc:
+		n, _ := c.Conn.Write(p[:k])
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: torn frame (%d of %d bytes)", ErrInjected, n, len(p))
+	case netSever:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection severed", ErrInjected)
+	case netDelay:
+		c.in.netMu.Lock()
+		d := time.Millisecond
+		if c.in.net != nil {
+			d = c.in.net.cfg.Delay
+		}
+		c.in.netMu.Unlock()
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}

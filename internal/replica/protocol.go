@@ -1,0 +1,168 @@
+// Package replica streams a leader's write-ahead log to followers over
+// TCP. The unit of replication is the WAL byte: a follower's local log
+// is an exact byte prefix of the leader's durable log for the same
+// generation, so every state a follower can expose — and every state a
+// promoted follower recovers to — is one the leader itself could
+// recover to after a crash. The leader never ships unsynced bytes.
+//
+// Wire protocol. The follower opens the connection and sends one JSON
+// line, the handshake: the generation, byte offset, and CRC of the log
+// prefix it already holds. The leader verifies that prefix against its
+// own log (a CRC mismatch means the follower's bytes diverged — e.g.
+// the leader crashed and truncated an unsynced suffix the follower
+// never saw, then overwrote it) and answers with a stream of binary
+// frames:
+//
+//	snapshot 'S' | u64 gen | u32 len | u32 crc | payload
+//	chunk    'C' | u64 gen | u64 off | u32 len | u32 crc | payload
+//
+// A snapshot frame resets the follower to the enclosed snapshot (empty
+// payload: a fresh database at the given generation) and restarts its
+// log at offset zero; chunk frames carry contiguous log bytes. All
+// integers are big-endian; the CRC is CRC-32C over the payload. Each
+// frame is written with a single conn.Write, which is what lets the
+// network fault injector (internal/faultinject) drop, duplicate,
+// truncate, or delay whole frames deterministically.
+//
+// Every fault collapses to reconnect: a dropped frame surfaces as an
+// offset gap, a torn frame as a CRC or framing error, a severed
+// connection as a read error — the follower drops the connection, backs
+// off (internal/retry), and the next handshake resumes from its durable
+// local position.
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	frameSnapshot = 'S'
+	frameChunk    = 'C'
+
+	// maxFramePayload bounds a frame a follower will accept; beyond it
+	// the stream is considered corrupt (a torn frame whose length field
+	// is garbage), and the connection is dropped.
+	maxFramePayload = 64 << 20
+
+	// maxHandshake bounds the handshake line a source will read.
+	maxHandshake = 1 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// handshake is the follower's opening message: the position (and
+// content CRC) of the log prefix it already holds, which the leader
+// either extends or overrides with a snapshot. Gen 0 means "no local
+// state — send a snapshot".
+type handshake struct {
+	Gen uint64 `json:"gen"`
+	Off int64  `json:"off"`
+	CRC uint32 `json:"crc"`
+}
+
+func writeHandshake(w io.Writer, hs handshake) error {
+	b, err := json.Marshal(hs)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func readHandshake(r *bufio.Reader) (handshake, error) {
+	line, err := r.ReadSlice('\n')
+	if err != nil {
+		return handshake{}, fmt.Errorf("replica: handshake: %w", err)
+	}
+	if len(line) > maxHandshake {
+		return handshake{}, fmt.Errorf("replica: handshake too long (%d bytes)", len(line))
+	}
+	var hs handshake
+	if err := json.Unmarshal(line, &hs); err != nil {
+		return handshake{}, fmt.Errorf("replica: handshake: %w", err)
+	}
+	return hs, nil
+}
+
+// snapshotFrame builds an 'S' frame. payload may be empty (fresh
+// database at gen).
+func snapshotFrame(gen uint64, payload []byte) []byte {
+	b := make([]byte, 0, 1+8+4+4+len(payload))
+	b = append(b, frameSnapshot)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
+	return append(b, payload...)
+}
+
+// chunkFrame builds a 'C' frame carrying log bytes [off, off+len) of
+// gen. A zero-length chunk is a keepalive.
+func chunkFrame(gen uint64, off int64, payload []byte) []byte {
+	b := make([]byte, 0, 1+8+8+4+4+len(payload))
+	b = append(b, frameChunk)
+	b = binary.BigEndian.AppendUint64(b, gen)
+	b = binary.BigEndian.AppendUint64(b, uint64(off))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
+	return append(b, payload...)
+}
+
+// frame is one decoded leader-to-follower message.
+type frame struct {
+	kind    byte
+	gen     uint64
+	off     int64 // chunk only
+	payload []byte
+}
+
+// readFrame reads and CRC-verifies one frame. Any framing damage — an
+// unknown kind byte, an implausible length, a digest mismatch — is an
+// error; the caller drops the connection and reconnects.
+func readFrame(r *bufio.Reader) (frame, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return frame{}, err
+	}
+	var hdr [24]byte
+	var fr frame
+	fr.kind = kind
+	var n, want int
+	switch kind {
+	case frameSnapshot:
+		want = 16 // gen + len + crc
+	case frameChunk:
+		want = 24 // gen + off + len + crc
+	default:
+		return frame{}, fmt.Errorf("replica: unknown frame kind 0x%02x", kind)
+	}
+	if _, err := io.ReadFull(r, hdr[:want]); err != nil {
+		return frame{}, err
+	}
+	fr.gen = binary.BigEndian.Uint64(hdr[:8])
+	n = 8
+	if kind == frameChunk {
+		fr.off = int64(binary.BigEndian.Uint64(hdr[8:16]))
+		n = 16
+	}
+	plen := binary.BigEndian.Uint32(hdr[n : n+4])
+	sum := binary.BigEndian.Uint32(hdr[n+4 : n+8])
+	if plen > maxFramePayload {
+		return frame{}, fmt.Errorf("replica: frame payload %d exceeds limit", plen)
+	}
+	if plen > 0 {
+		fr.payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, fr.payload); err != nil {
+			return frame{}, err
+		}
+	}
+	if got := crc32.Checksum(fr.payload, crcTable); got != sum {
+		return frame{}, fmt.Errorf("replica: frame crc mismatch (got %08x want %08x)", got, sum)
+	}
+	return fr, nil
+}

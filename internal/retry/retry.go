@@ -96,6 +96,33 @@ func (s *Schedule) Next() time.Duration {
 // Reset.
 func (s *Schedule) Attempt() int { return s.attempt }
 
+// Wait sleeps the schedule's next delay, honoring ctx: when ctx is done
+// before (or, for an injected sleep, during) the wait, Wait returns
+// ctx.Err() instead of nil. A nil sleep waits in real time on a timer
+// that ctx interrupts immediately — a reconnect loop or half-open probe
+// can never sleep past a drain deadline. An injected sleep (virtual
+// time in tests) runs to completion and the context is re-checked after
+// it, so a recorder that cancels the context "mid-sleep" still sees the
+// cancellation honored at the attempt boundary.
+func (s *Schedule) Wait(ctx context.Context, sleep func(time.Duration)) error {
+	d := s.Next()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if sleep == nil {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	}
+	sleep(d)
+	return ctx.Err()
+}
+
 // Reset rewinds the schedule to attempt zero AND re-seeds the
 // generator, so a breaker that closes and later re-trips replays the
 // identical delay sequence.
@@ -108,21 +135,21 @@ func (s *Schedule) Reset() {
 // backoff between attempts. It stops early when op succeeds, when
 // retryable (nil means "retry everything") rejects the error, or when
 // ctx is done — whichever comes first — and returns the last error (or
-// ctx.Err() on cancellation mid-wait). sleep may be nil for time.Sleep;
-// tests inject a recorder to run in virtual time.
+// ctx.Err() on cancellation before or during a wait: the between-
+// attempt sleep is interruptible, so a caller under a drain deadline is
+// released the moment the deadline hits, not after the backoff runs
+// out). sleep may be nil for a real-time timer; tests inject a recorder
+// to run in virtual time (the context is then re-checked after each
+// recorded sleep).
 func Do(ctx context.Context, pol Policy, seed int64, sleep func(time.Duration), retryable func(error) bool, op func() error) error {
 	pol = pol.withDefaults()
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	sched := New(pol, seed)
 	var err error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if cerr := ctx.Err(); cerr != nil {
+			if cerr := sched.Wait(ctx, sleep); cerr != nil {
 				return cerr
 			}
-			sleep(sched.Next())
 		}
 		if err = op(); err == nil {
 			return nil

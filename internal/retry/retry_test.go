@@ -133,3 +133,61 @@ func TestDoHonorsContext(t *testing.T) {
 		t.Fatalf("err = %v, calls = %d; want context.Canceled after 1 attempt", err, calls)
 	}
 }
+
+// TestDoCancelledMidSleep: a cancellation arriving DURING the
+// between-attempt wait is honored at the wait, with the deterministic
+// schedule intact up to that point — the op never runs again. This is
+// the drain-deadline shape: a reconnect loop must release the instant
+// the deadline passes, not after its backoff budget.
+func TestDoCancelledMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var sleeps []time.Duration
+	want := New(Policy{MaxAttempts: 5, Jitter: 0}, 7).Next()
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 5, Jitter: 0}, 7,
+		func(d time.Duration) {
+			sleeps = append(sleeps, d)
+			cancel() // the deadline fires mid-sleep
+		}, nil,
+		func() error { calls++; return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempt after the cancelled wait)", calls)
+	}
+	if len(sleeps) != 1 || sleeps[0] != want {
+		t.Fatalf("sleeps = %v, want exactly [%v] (deterministic schedule up to the cancellation)", sleeps, want)
+	}
+}
+
+// TestDoRealTimerInterrupted: with a nil sleep (real time), a pending
+// cancellation cuts the wait short instead of sleeping it out.
+func TestDoRealTimerInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	err := Do(ctx, Policy{Initial: time.Hour, Jitter: 0, MaxAttempts: 3}, 1,
+		nil, nil,
+		func() error { calls++; cancel(); return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want context.Canceled after 1 attempt", err, calls)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Do slept %v of an hour-long backoff despite cancellation", elapsed)
+	}
+}
+
+// TestScheduleWaitCancelled: Wait consumes exactly one scheduled delay
+// and reports the cancellation.
+func TestScheduleWaitCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := New(Policy{Jitter: 0}, 3)
+	if err := s.Wait(ctx, func(time.Duration) { t.Fatal("slept despite cancelled ctx") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if s.Attempt() != 1 {
+		t.Fatalf("Attempt = %d, want 1 (the delay was consumed)", s.Attempt())
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+// Drain racing a concurrent checkpoint: a checkpoint arriving after
+// readiness flips must get a typed rejection promptly — never enqueue
+// behind a drain that will not serve it, never hang.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"activerules/internal/engine"
+)
+
+func TestCheckpointDuringDrainRejectsTyped(t *testing.T) {
+	g := newGate()
+	s, _ := newTestServer(t, Config{Engine: engine.Options{WrapMutator: g.wrap}})
+
+	// Occupy the worker mid-request so the drain cannot finish yet.
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(context.Background(), Request{SQL: "insert into t values (1)"})
+		inflight <- err
+	}()
+	<-g.entered
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+	waitFor(t, func() bool { return s.Health().State == StateDraining })
+
+	checkpointErr := make(chan error, 1)
+	go func() { checkpointErr <- s.Checkpoint(context.Background()) }()
+	select {
+	case err := <-checkpointErr:
+		var ce *ClosedError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Checkpoint during drain = %v, want *ClosedError", err)
+		}
+		if ce.State != StateDraining {
+			t.Errorf("ClosedError.State = %q, want %q", ce.State, StateDraining)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Checkpoint hung while the server was draining")
+	}
+
+	// The drained request still completes; the drain then finishes.
+	close(g.release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request during drain: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestCheckpointRacingDrain hammers Checkpoint from several goroutines
+// while Shutdown races them, across several rounds: every call must
+// return (no hangs), and every failure must be the typed *ClosedError.
+// Run under -race this also checks the state flip itself.
+func TestCheckpointRacingDrain(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		s, _ := newTestServer(t, Config{})
+		var wg sync.WaitGroup
+		bad := make(chan error, 64)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					err := s.Checkpoint(context.Background())
+					if err == nil {
+						continue
+					}
+					var ce *ClosedError
+					if !errors.As(err, &ce) {
+						bad <- err
+					}
+					return
+				}
+			}()
+		}
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("round %d: Shutdown: %v", round, err)
+		}
+		wg.Wait()
+		close(bad)
+		for err := range bad {
+			t.Fatalf("round %d: checkpoint failed with untyped error: %v", round, err)
+		}
+	}
+}

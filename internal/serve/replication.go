@@ -1,0 +1,40 @@
+package serve
+
+import "activerules/internal/wal"
+
+// Replication read hooks. A replication source (internal/replica)
+// streams the server's durable WAL bytes to followers; these accessors
+// expose exactly the crash-safe prefix — never unsynced bytes — so a
+// follower's state is always one the leader could itself recover to.
+//
+// All three are safe for concurrent use with the worker goroutine: the
+// DurableDB pointer is snapshotted under s.mu (a durability-fault
+// reopen swaps it), and DurableDB's own position methods are
+// internally synchronized against checkpoint rotation.
+
+// replDD snapshots the current DurableDB pointer.
+func (s *Server) replDD() *wal.DurableDB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dd
+}
+
+// DurablePos returns the active WAL generation and the byte offset of
+// its log known to be on stable storage.
+func (s *Server) DurablePos() (gen uint64, off int64) {
+	return s.replDD().DurablePos()
+}
+
+// ReadLog returns up to max bytes of the active generation's log
+// starting at off, clipped to the durable prefix. It returns
+// wal.ErrGenRotated when gen has been retired by a checkpoint.
+func (s *Server) ReadLog(gen uint64, off int64, max int) ([]byte, error) {
+	return s.replDD().ReadLog(gen, off, max)
+}
+
+// ReadSnapshot returns the current snapshot file's bytes and
+// generation; ok=false means no checkpoint has happened yet and the
+// follower should start from an empty database at generation 1.
+func (s *Server) ReadSnapshot() (data []byte, gen uint64, ok bool, err error) {
+	return s.replDD().ReadSnapshot()
+}

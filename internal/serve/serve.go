@@ -268,9 +268,13 @@ func New(sch *schema.Schema, defs []rules.Definition, dir string, cfg Config) (*
 // adopt wires a freshly opened DurableDB: its recovered state becomes
 // the engine's database (observed so mutations reach the log) and the
 // current active rule set (full set minus quarantined) is rebuilt over
-// it.
+// it. The s.dd store is mu-guarded because the replication read path
+// (replication.go) snapshots the pointer from other goroutines while a
+// durability-fault reopen swaps it on the worker.
 func (s *Server) adopt(d *wal.DurableDB) error {
+	s.mu.Lock()
 	s.dd = d
+	s.mu.Unlock()
 	db := d.State()
 	db.SetObserver(d)
 	set, err := s.activeSet()

@@ -1,0 +1,75 @@
+package shard
+
+// Sharding perf baseline: the same round-robin assert stream over four
+// independent table clusters, served by 1, 2, and 4 effective shards.
+// Submits run concurrently (b.RunParallel) because shard parallelism
+// only pays when requests for different shards are in flight together.
+// Recorded results live in BENCH_shard.json at the repo root.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"activerules/internal/ruledef"
+	"activerules/internal/schema"
+	"activerules/internal/serve"
+	"activerules/internal/wal"
+)
+
+// benchClusters builds a schema of n independent {src,dst} clusters,
+// one copy rule each, so the maximal plan has n shards.
+func benchClusters(b *testing.B, n int) (*schema.Schema, string) {
+	b.Helper()
+	var schSrc, ruleSrc string
+	for i := 0; i < n; i++ {
+		schSrc += fmt.Sprintf("table src%d (id int, v int)\ntable dst%d (id int, v int)\n", i, i)
+		ruleSrc += fmt.Sprintf(
+			"create rule copy%d on src%d\nwhen inserted\nthen insert into dst%d select id, v from inserted\n\n",
+			i, i, i)
+	}
+	sch, err := schema.Parse(schSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sch, ruleSrc
+}
+
+func BenchmarkAssertSharded(b *testing.B) {
+	const clusters = 4
+	sch, ruleSrc := benchClusters(b, clusters)
+	defs, err := ruledef.Parse(ruleSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stmts := make([]string, clusters)
+	for i := range stmts {
+		stmts[i] = fmt.Sprintf("insert into src%d values (1, 2)", i)
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			g, err := Open(sch, defs, "bench", n, serve.Config{
+				WAL:            wal.Options{FS: wal.NewMemFS()},
+				QueueDepth:     256,
+				DisableProbing: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			ctx := context.Background()
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % clusters
+					if _, err := g.Submit(ctx, serve.Request{SQL: stmts[i]}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"activerules/internal/schema"
 	"activerules/internal/storage"
@@ -65,10 +66,16 @@ type DurableDB struct {
 	dir  string
 	opts Options
 	sch  *schema.Schema
-	gen  uint64
-	log  *Log
 	st   *storage.DB
 	info RecoveryInfo
+
+	// posMu guards gen and log for the replication read path, which
+	// runs off the worker goroutine while Checkpoint rotates them. All
+	// mutation of gen/log happens on the worker; posMu makes the
+	// (gen, log) pair readable as a consistent snapshot elsewhere.
+	posMu sync.Mutex
+	gen   uint64
+	log   *Log
 }
 
 // Open recovers the durable state in dir (creating it if needed) and
@@ -95,7 +102,7 @@ func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
 			return nil, err
 		}
 	}
-	l, err := openLog(fsys, logPath, opts)
+	l, err := openLog(fsys, logPath, opts, int64(rec.goodLen))
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +154,78 @@ func (d *DurableDB) State() *storage.DB { return d.st }
 func (d *DurableDB) Info() RecoveryInfo { return d.info }
 
 // Gen returns the active log generation.
-func (d *DurableDB) Gen() uint64 { return d.gen }
+func (d *DurableDB) Gen() uint64 {
+	d.posMu.Lock()
+	defer d.posMu.Unlock()
+	return d.gen
+}
+
+// DurablePos returns the active generation and the byte offset of its
+// log that is known durable: the exact prefix a crash preserves and a
+// replication source may ship. Safe for concurrent use with the worker.
+func (d *DurableDB) DurablePos() (gen uint64, off int64) {
+	d.posMu.Lock()
+	defer d.posMu.Unlock()
+	return d.gen, d.log.DurableOffset()
+}
+
+// ErrGenRotated reports a replication read against a generation that is
+// no longer active: a checkpoint rotated the log, and the reader must
+// restart from the new snapshot.
+var ErrGenRotated = errors.New("wal: log generation rotated")
+
+// ReadLog returns up to max bytes of the active log starting at byte
+// off, clipped to the durable prefix (never shipping bytes a crash
+// could take away). It returns ErrGenRotated when gen is no longer the
+// active generation, and an empty slice when off is already at the
+// durable frontier. Safe for concurrent use with the worker: the log
+// file is append-only within a generation, so a plain ReadFile of the
+// directory is consistent for any prefix below the durable offset.
+func (d *DurableDB) ReadLog(gen uint64, off int64, max int) ([]byte, error) {
+	d.posMu.Lock()
+	curGen, l := d.gen, d.log
+	d.posMu.Unlock()
+	if gen != curGen {
+		return nil, ErrGenRotated
+	}
+	durable := l.DurableOffset()
+	if off < 0 || off >= durable {
+		return nil, nil
+	}
+	data, err := d.fsys.ReadFile(join(d.dir, logName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) < durable {
+		// Cannot happen within a generation; guard against a racing
+		// rotation that already truncated.
+		return nil, ErrGenRotated
+	}
+	end := durable
+	if max > 0 && off+int64(max) < end {
+		end = off + int64(max)
+	}
+	return append([]byte(nil), data[off:end]...), nil
+}
+
+// ReadSnapshot returns the current snapshot file's bytes and the
+// generation recorded in its header, with ok=false when no snapshot
+// exists yet (a pre-first-checkpoint directory). The caller verifies
+// integrity by decoding; this method only peeks at the header.
+func (d *DurableDB) ReadSnapshot() (data []byte, gen uint64, ok bool, err error) {
+	data, err = d.fsys.ReadFile(join(d.dir, snapName))
+	if err != nil {
+		if IsNotExist(err) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	gen, err = SnapshotGen(data)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return data, gen, true, nil
+}
 
 // Err returns the log's sticky error, if any.
 func (d *DurableDB) Err() error { return d.log.Err() }
@@ -238,8 +316,10 @@ func (d *DurableDB) Checkpoint(cur *storage.DB) error {
 	}
 	old := d.log
 	oldGen := d.gen
+	d.posMu.Lock()
 	d.log = nl
 	d.gen = newGen
+	d.posMu.Unlock()
 	d.info.Gen = newGen
 	old.f.Close()
 	// Best effort: a stale log is ignored by recovery and re-deleted by
@@ -323,6 +403,11 @@ func recoverState(fsys FS, dir string, sch *schema.Schema) (*recovered, error) {
 	}
 	return r, nil
 }
+
+// Apply redoes one committed mutation record against db: the exported
+// face of the recovery replay step, used by replication followers
+// applying fenced commit ranges incrementally.
+func Apply(db *storage.DB, rec Record) error { return applyRecord(db, rec) }
 
 // applyRecord redoes one committed mutation record against db.
 func applyRecord(db *storage.DB, rec Record) error {

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"activerules/internal/storage"
 )
@@ -95,15 +96,40 @@ type Log struct {
 	// stats and tests.
 	mutations int
 	records   int
+
+	// written and durable track the log file's byte positions: written
+	// is how many bytes have reached the file (flushed), durable how
+	// many an fsync has made stable. Atomics because the replication
+	// source reads them from outside the worker goroutine; everything
+	// else about the Log stays single-threaded.
+	written atomic.Int64
+	durable atomic.Int64
 }
 
-// openLog opens (creating if needed) the log file for appending.
-func openLog(fsys FS, path string, opts Options) (*Log, error) {
+// openLog opens (creating if needed) the log file for appending. base
+// is the file's current length — the recovered consistent prefix — so
+// position tracking starts true.
+func openLog(fsys FS, path string, opts Options, base int64) (*Log, error) {
 	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Log{fs: fsys, path: path, f: f, opts: opts}, nil
+	l := &Log{fs: fsys, path: path, f: f, opts: opts}
+	l.written.Store(base)
+	l.durable.Store(base)
+	return l, nil
+}
+
+// DurableOffset returns the byte offset of the log file known to be on
+// stable storage: the prefix a crash cannot take away, and therefore
+// the prefix the replication source may ship to followers. Under
+// SyncNever the caller has opted out of crash durability, so flushed
+// bytes count. Safe for concurrent use.
+func (l *Log) DurableOffset() int64 {
+	if l.opts.Sync == SyncNever {
+		return l.written.Load()
+	}
+	return l.durable.Load()
 }
 
 // Err returns the sticky error, if any.
@@ -140,6 +166,7 @@ func (l *Log) flush() {
 		l.err = fmt.Errorf("wal: append: %w", err)
 		return
 	}
+	l.written.Add(int64(len(l.buf)))
 	l.buf = l.buf[:0]
 	if l.opts.Sync == SyncAlways {
 		l.sync()
@@ -157,6 +184,7 @@ func (l *Log) sync() {
 		l.err = fmt.Errorf("wal: fsync: %w", err)
 		return
 	}
+	l.durable.Store(l.written.Load())
 	l.commits = 0
 }
 

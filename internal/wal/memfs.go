@@ -17,14 +17,21 @@ import (
 // power loss can leave behind.
 //
 // Durability model (matching the FS contract): written bytes are
-// volatile until Sync; Truncate and Remove are immediately durable;
-// Rename is durable for the name but NOT for unsynced content — a
-// renamed-but-unsynced file can still lose its tail, which is why the
-// snapshot protocol syncs before renaming.
+// volatile until Sync; Truncate is immediately durable (an inode
+// operation); directory ENTRIES — a created file's name, a rename's
+// name swap, a removal — are volatile until SyncDir on their directory.
+// A crash before the directory sync can revert any suffix of the
+// pending entry operations, exactly as a real power loss can drop
+// buffered directory blocks: a created file vanishes, a rename reverts
+// (restoring any file it overwrote), a removed file returns. Rename is
+// never durable for unsynced CONTENT either — a renamed-but-unsynced
+// file can still lose its tail, which is why the snapshot protocol
+// syncs before renaming.
 type MemFS struct {
-	mu    sync.Mutex
-	files map[string]*memFile
-	dirs  map[string]bool
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	pending map[string][]dirOp // directory -> entry ops awaiting SyncDir
 }
 
 type memFile struct {
@@ -32,20 +39,73 @@ type memFile struct {
 	synced int // prefix of data known durable
 }
 
-// NewMemFS returns an empty in-memory filesystem.
-func NewMemFS() *MemFS {
-	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+// dirOp is one volatile directory-entry operation, with enough state to
+// undo it when a crash drops it.
+type dirOp struct {
+	kind dirOpKind
+	name string   // the entry written (create/rename target/remove)
+	old  string   // rename only: the source name
+	prev *memFile // rename/remove: the file the op displaced, if any
 }
 
-// Crash simulates a power loss: every file keeps its synced prefix plus
-// an rng-chosen prefix of its unsynced tail (possibly empty, possibly
-// all of it). Files are processed in sorted name order so a seeded rng
-// yields a deterministic post-crash state. Open handles remain usable
-// afterwards only in the sense that the harness reopens everything; the
-// fault injector freezes them at the crash point.
+type dirOpKind int
+
+const (
+	dirCreate dirOpKind = iota
+	dirRename
+	dirRemove
+)
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memFile),
+		dirs:    make(map[string]bool),
+		pending: make(map[string][]dirOp),
+	}
+}
+
+// dirOf returns the directory of a flat WAL path ("" for a bare name).
+func dirOf(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// note records a volatile directory-entry operation.
+func (m *MemFS) note(op dirOp) {
+	d := dirOf(op.name)
+	m.pending[d] = append(m.pending[d], op)
+}
+
+// Crash simulates a power loss, in two steps matching the two buffered
+// layers of a real filesystem. First, directory entries: for each
+// directory (sorted), an rng-chosen PREFIX of its pending entry ops
+// survives and the rest are undone in reverse order — a created name
+// vanishes, a rename reverts (restoring the overwritten file), a
+// removed file reappears. Then file contents: every surviving file
+// keeps its synced prefix plus an rng-chosen prefix of its unsynced
+// tail. Everything is processed in sorted name order so a seeded rng
+// yields a deterministic post-crash state; the fault injector freezes
+// open handles at the crash point.
 func (m *MemFS) Crash(rng *rand.Rand) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	dirs := make([]string, 0, len(m.pending))
+	for d := range m.pending {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		ops := m.pending[d]
+		keep := rng.Intn(len(ops) + 1)
+		for i := len(ops) - 1; i >= keep; i-- {
+			m.undo(ops[i])
+		}
+	}
+	m.pending = make(map[string][]dirOp)
+
 	names := make([]string, 0, len(m.files))
 	for name := range m.files {
 		names = append(names, name)
@@ -59,6 +119,25 @@ func (m *MemFS) Crash(rng *rand.Rand) {
 	}
 }
 
+// undo reverts one dropped directory-entry operation.
+func (m *MemFS) undo(op dirOp) {
+	switch op.kind {
+	case dirCreate:
+		delete(m.files, op.name)
+	case dirRename:
+		if f, ok := m.files[op.name]; ok {
+			m.files[op.old] = f
+		}
+		if op.prev != nil {
+			m.files[op.name] = op.prev
+		} else {
+			delete(m.files, op.name)
+		}
+	case dirRemove:
+		m.files[op.name] = op.prev
+	}
+}
+
 // MkdirAll implements FS.
 func (m *MemFS) MkdirAll(dir string) error {
 	m.mu.Lock()
@@ -67,17 +146,24 @@ func (m *MemFS) MkdirAll(dir string) error {
 	return nil
 }
 
-// Create implements FS. The truncation of an existing file is treated
-// as immediately durable (like Truncate).
+// Create implements FS. The truncation of an EXISTING file is treated
+// as immediately durable (like Truncate — an inode operation on an
+// entry that is already stable); creating a NEW name is a volatile
+// directory entry until SyncDir.
 func (m *MemFS) Create(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	_, existed := m.files[name]
 	f := &memFile{}
 	m.files[name] = f
+	if !existed {
+		m.note(dirOp{kind: dirCreate, name: name})
+	}
 	return &memHandle{fs: m, f: f}, nil
 }
 
-// OpenAppend implements FS.
+// OpenAppend implements FS. Creating a missing file is a volatile
+// directory entry until SyncDir.
 func (m *MemFS) OpenAppend(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -85,6 +171,7 @@ func (m *MemFS) OpenAppend(name string) (File, error) {
 	if !ok {
 		f = &memFile{}
 		m.files[name] = f
+		m.note(dirOp{kind: dirCreate, name: name})
 	}
 	return &memHandle{fs: m, f: f}, nil
 }
@@ -100,8 +187,10 @@ func (m *MemFS) ReadFile(name string) ([]byte, error) {
 	return append([]byte(nil), f.data...), nil
 }
 
-// Rename implements FS: the name change is durable, the content keeps
-// whatever synced state it had.
+// Rename implements FS: the name swap is a volatile directory entry
+// until SyncDir (a crash before it reverts the swap, restoring any
+// overwritten target), and the content keeps whatever synced state it
+// had either way.
 func (m *MemFS) Rename(oldname, newname string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -109,18 +198,22 @@ func (m *MemFS) Rename(oldname, newname string) error {
 	if !ok {
 		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
 	}
+	m.note(dirOp{kind: dirRename, name: newname, old: oldname, prev: m.files[newname]})
 	m.files[newname] = f
 	delete(m.files, oldname)
 	return nil
 }
 
-// Remove implements FS; the removal is durable.
+// Remove implements FS; the removal is a volatile directory entry until
+// SyncDir — a crash before it can bring the file back.
 func (m *MemFS) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.files[name]; !ok {
+	f, ok := m.files[name]
+	if !ok {
 		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
 	}
+	m.note(dirOp{kind: dirRemove, name: name, prev: f})
 	delete(m.files, name)
 	return nil
 }
@@ -143,12 +236,17 @@ func (m *MemFS) Truncate(name string, size int64) error {
 	return nil
 }
 
-// SyncDir implements FS as a no-op: MemFS models directory entries
-// (create, rename, remove) as immediately durable, so the crash harness
-// exercises SyncDir call sites as injection points (failures, crashes)
-// but cannot detect a *missing* SyncDir call — that gap in the model is
-// why osFS must supply the real directory fsync.
-func (m *MemFS) SyncDir(dir string) error { return nil }
+// SyncDir implements FS: every pending directory-entry operation of dir
+// (create, rename, remove) becomes durable. Until this call, a
+// simulated crash may revert any suffix of them — so the crash harness
+// catches not only failures AT SyncDir call sites but protocols that
+// are missing a SyncDir call altogether.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.pending, dir)
+	return nil
+}
 
 // ReadDir implements FS.
 func (m *MemFS) ReadDir(dir string) ([]string, error) {

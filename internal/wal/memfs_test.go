@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// crashDroppingAll crashes m with a seed chosen so every pending
+// directory-entry op is undone (each per-dir keep draw Intn(n+1) comes
+// up 0). The seed is found by replaying the draw order Crash uses —
+// sorted dirs first — against candidate seeds; the search is
+// deterministic, so the test is too.
+func crashDroppingAll(m *MemFS, t *testing.T) {
+	t.Helper()
+	m.mu.Lock()
+	dirs := make([]string, 0, len(m.pending))
+	for d := range m.pending {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	counts := make([]int, len(dirs))
+	for i, d := range dirs {
+		counts[i] = len(m.pending[d])
+	}
+	m.mu.Unlock()
+	for seed := int64(0); seed < 1<<16; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		for _, c := range counts {
+			if rng.Intn(c+1) != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			m.Crash(rand.New(rand.NewSource(seed)))
+			return
+		}
+	}
+	t.Fatal("no seed drops all pending ops")
+}
+
+// TestMemFSCrashDropsUnsyncedCreate: a file created and content-synced
+// but whose DIRECTORY was never synced vanishes at a crash that drops
+// the pending entry — the failure mode SyncDir exists to prevent.
+func TestMemFSCrashDropsUnsyncedCreate(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("hello"))
+	f.Sync() // content durable, entry not
+	f.Close()
+	crashDroppingAll(m, t)
+	if _, err := m.ReadFile("d/a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("unsynced-dir create survived crash: err=%v", err)
+	}
+}
+
+// TestMemFSSyncDirMakesCreateDurable: after SyncDir, no crash can take
+// the entry away; the synced content survives too.
+func TestMemFSSyncDirMakesCreateDurable(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("d/a")
+	f.Write([]byte("hello"))
+	f.Sync()
+	f.Close()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		m.Crash(rand.New(rand.NewSource(seed)))
+		got, err := m.ReadFile("d/a")
+		if err != nil || string(got) != "hello" {
+			t.Fatalf("seed %d: durable create lost: %q err=%v", seed, got, err)
+		}
+	}
+}
+
+// TestMemFSCrashRevertsUnsyncedRename: a rename over an existing target
+// without SyncDir reverts at a crash, restoring the overwritten file —
+// exactly the state a snapshot-install protocol must tolerate.
+func TestMemFSCrashRevertsUnsyncedRename(t *testing.T) {
+	m := NewMemFS()
+	old, _ := m.Create("d/old")
+	old.Write([]byte("old"))
+	old.Sync()
+	old.Close()
+	tmp, _ := m.Create("d/tmp")
+	tmp.Write([]byte("new"))
+	tmp.Sync()
+	tmp.Close()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("d/tmp", "d/old"); err != nil {
+		t.Fatal(err)
+	}
+	crashDroppingAll(m, t)
+	got, err := m.ReadFile("d/old")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("rename did not revert: %q err=%v", got, err)
+	}
+	got, err = m.ReadFile("d/tmp")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("rename source not restored: %q err=%v", got, err)
+	}
+}
+
+// TestMemFSCrashRestoresUnsyncedRemove: a removed file whose directory
+// was not synced comes back after a crash.
+func TestMemFSCrashRestoresUnsyncedRemove(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.Create("d/a")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("d/a"); err != nil {
+		t.Fatal(err)
+	}
+	crashDroppingAll(m, t)
+	got, err := m.ReadFile("d/a")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("removed file did not return: %q err=%v", got, err)
+	}
+}
+
+// TestMemFSCrashKeepsPrefixOfPendingOps: Crash never reorders pending
+// entry ops — it keeps a PREFIX. If op2 survived, op1 must have too.
+func TestMemFSCrashKeepsPrefixOfPendingOps(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		m := NewMemFS()
+		a, _ := m.Create("d/a")
+		a.Write([]byte("a"))
+		a.Sync()
+		a.Close()
+		b, _ := m.Create("d/b")
+		b.Write([]byte("b"))
+		b.Sync()
+		b.Close()
+		m.Crash(rand.New(rand.NewSource(seed)))
+		_, errA := m.ReadFile("d/a")
+		_, errB := m.ReadFile("d/b")
+		if errB == nil && errA != nil {
+			t.Fatalf("seed %d: later create survived while earlier dropped", seed)
+		}
+	}
+}

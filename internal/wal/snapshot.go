@@ -31,6 +31,36 @@ import (
 
 var snapMagic = []byte("ARSNAP1\n")
 
+// DecodeSnapshot rebuilds a database from snapshot bytes against the
+// schema, returning the generation the snapshot was taken at. It is the
+// exported face of the recovery decoder, used by replication followers
+// bootstrapping from a streamed snapshot; any structural problem wraps
+// ErrCorrupt.
+func DecodeSnapshot(data []byte, sch *schema.Schema) (*storage.DB, uint64, error) {
+	return decodeSnapshot(data, sch)
+}
+
+// SnapshotGen peeks at a snapshot's header and returns the generation
+// it records, without decoding or verifying the body. Used to label
+// snapshot bytes being shipped; the receiver still fully decodes.
+func SnapshotGen(data []byte) (uint64, error) {
+	if len(data) < len(snapMagic)+1 || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	gen, n := binary.Uvarint(data[len(snapMagic):])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad snapshot generation", ErrCorrupt)
+	}
+	return gen, nil
+}
+
+// EncodeSnapshot serializes db at the given generation, in the same
+// format written at checkpoints (including the sha256 trailer). Used by
+// replication followers persisting a streamed bootstrap snapshot.
+func EncodeSnapshot(db *storage.DB, gen uint64) []byte {
+	return encodeSnapshot(db, gen)
+}
+
 // encodeSnapshot serializes db at the given generation.
 func encodeSnapshot(db *storage.DB, gen uint64) []byte {
 	b := append([]byte(nil), snapMagic...)
