@@ -244,7 +244,20 @@ type System struct {
 	// analysisRefine enables condition-aware refinement on every
 	// analyzer the system constructs.
 	analysisRefine bool
+
+	// compiled selects the execution mode of every engine this system
+	// constructs (NewEngine, OpenDurable, NewServer, NewShardGroup):
+	// true — the default — runs the compiled hot path (closure-compiled
+	// conditions and actions, delta-driven triggering); false runs the
+	// reference interpreter. The two are observably identical; the
+	// interpreter remains available as the differential oracle.
+	compiled bool
 }
+
+// SetCompiled selects compiled (true, the default) or interpreted
+// execution for engines this system constructs afterwards. Explicitly
+// requesting EngineOptions.Compiled overrides a false setting.
+func (s *System) SetCompiled(on bool) { s.compiled = on }
 
 // SetAnalysisParallelism sets the worker count used by the analyzers
 // this system constructs (see Analyzer.SetParallelism): 0 means one
@@ -274,7 +287,7 @@ func Load(schemaSrc, rulesSrc string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{schema: sch, rules: set, defs: defs}, nil
+	return &System{schema: sch, rules: set, defs: defs, compiled: true}, nil
 }
 
 // LoadFiles is Load reading from files.
@@ -296,7 +309,7 @@ func FromDefinitions(sch *Schema, defs []Definition) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{schema: sch, rules: set, defs: defs}, nil
+	return &System{schema: sch, rules: set, defs: defs, compiled: true}, nil
 }
 
 // MustLoad is Load, panicking on error. Intended for tests and examples.
@@ -329,7 +342,8 @@ func (s *System) WithOrdering(pairs ...[2]string) (*System, error) {
 		return nil, err
 	}
 	return &System{schema: s.schema, rules: ns, defs: s.defs,
-		analysisPar: s.analysisPar, analysisRefine: s.analysisRefine}, nil
+		analysisPar: s.analysisPar, analysisRefine: s.analysisRefine,
+		compiled: s.compiled}, nil
 }
 
 // Without returns a new System with the named rules deactivated
@@ -395,8 +409,12 @@ func (s *System) Lint(cert *Certification) *LintResult {
 // NewDB returns an empty database over the system's schema.
 func (s *System) NewDB() *DB { return storage.NewDB(s.schema) }
 
-// NewEngine returns a rule-processing engine over db.
+// NewEngine returns a rule-processing engine over db, compiled unless
+// SetCompiled(false) selected the interpreter.
 func (s *System) NewEngine(db *DB, opts EngineOptions) *Engine {
+	if s.compiled {
+		opts.Compiled = true
+	}
 	return engine.New(s.rules, db, opts)
 }
 

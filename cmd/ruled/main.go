@@ -34,6 +34,9 @@
 //	-seed n          seed for the jittered probe/retry backoff
 //	-maxsteps n      rule-consideration budget per request
 //	-strategy s      first | last | random:<seed>
+//	-compiled        run rules through the compiled hot path (default
+//	                 true); -compiled=false selects the reference
+//	                 interpreter — responses are identical either way
 //	-fsync policy    commit (default) | always | never
 //	-group-commit n  fsync every nth commit (below 2 = every commit)
 //
@@ -105,6 +108,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	noProbe := fs.Bool("no-probe", false, "never readmit quarantined rules")
 	seed := fs.Int64("seed", 0, "seed for jittered probe/retry backoff")
 	maxSteps := fs.Int("maxsteps", 10000, "rule consideration budget per request")
+	compiled := fs.Bool("compiled", true, "run rules through the compiled hot path (false = reference interpreter)")
 	strategy := fs.String("strategy", "first", "first | last | random:<seed>")
 	fsync := fs.String("fsync", "commit", "commit | always | never")
 	groupCommit := fs.Int("group-commit", 0, "fsync every nth commit (below 2 = every commit)")
@@ -122,6 +126,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintln(stderr, "ruled:", err)
 		return 2
 	}
+	sys.SetCompiled(*compiled)
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(stderr, "ruled:", err)

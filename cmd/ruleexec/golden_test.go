@@ -72,6 +72,44 @@ func TestGoldenDurable(t *testing.T) {
 	}
 }
 
+// TestGoldenCompiledModeStable re-renders every durable golden surface
+// with the compiled hot path explicitly on and explicitly off; both must
+// reproduce the same golden bytes. -compiled is a pure performance knob:
+// the compiled engine and the reference interpreter are observably
+// indistinguishable (see the differential battery at the repo root).
+func TestGoldenCompiledModeStable(t *testing.T) {
+	cases := []struct {
+		name  string
+		extra []string
+	}{
+		{"durable-fresh", []string{"-trace", "-snapshot-every", "2"}},
+		{"durable-explore", []string{"-explore"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.name+".golden"))
+			if err != nil {
+				t.Fatalf("%v (run TestGoldenDurable with -update first)", err)
+			}
+			for _, mode := range []string{"true", "false"} {
+				wal := filepath.Join(t.TempDir(), "wal")
+				args := []string{"-schema", durSchema, "-rules", durRules, "-script", durOps,
+					"-wal", wal, "-compiled=" + mode}
+				args = append(args, tc.extra...)
+				var out, errb bytes.Buffer
+				if code := run(args, &out, &errb); code != 0 {
+					t.Fatalf("-compiled=%s: exit %d; %s", mode, code, errb.String())
+				}
+				if !bytes.Equal(out.Bytes(), want) {
+					t.Errorf("-compiled=%s output differs from golden:\ngot:\n%s\nwant:\n%s",
+						mode, out.String(), want)
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenDurableStableAcrossParallelism re-renders the durable
 // exploration surface at several -parallel worker counts and compares
 // each against the same golden bytes: -parallel is a pure performance

@@ -27,6 +27,9 @@
 //	-lint            run the rulelint preflight before executing; any
 //	                 error-severity finding (e.g. a dead rule) aborts the
 //	                 run with exit status 6
+//	-compiled        run rules through the compiled hot path (default
+//	                 true); -compiled=false selects the reference
+//	                 interpreter — output is byte-identical either way
 //	-wal dir         durable mode: open (and recover) a write-ahead log
 //	                 in dir; every assertion point is a durable commit,
 //	                 and a crashed run resumes from its last commit on
@@ -94,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	parallel := fs.Int("parallel", 1, "worker count for -explore (0 = one per CPU, 1 = sequential)")
 	traceFlag := fs.Bool("trace", false, "print each rule-processing step")
 	lint := fs.Bool("lint", false, "run the rulelint preflight; error findings abort with status 6")
+	compiled := fs.Bool("compiled", true, "run rules through the compiled hot path (false = reference interpreter)")
 	walDir := fs.String("wal", "", "durable mode: write-ahead log directory (recovered on start)")
 	snapEvery := fs.Int("snapshot-every", 0, "with -wal, checkpoint after every n assertion points (0 = never)")
 	fsync := fs.String("fsync", "commit", "with -wal: commit | always | never")
@@ -112,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintln(stderr, "ruleexec:", err)
 		return 2
 	}
+	sys.SetCompiled(*compiled)
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(stderr, "ruleexec:", err)

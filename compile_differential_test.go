@@ -1,0 +1,425 @@
+package activerules_test
+
+// The compiled/interpreted differential battery: the compiled hot path
+// (internal/compile, delta-driven triggering) and the reference
+// interpreter must be observably indistinguishable — byte-identical
+// trace streams, identical results and observables, identical final
+// state hashes, and the same error taxonomy down to the message, on
+// generated workloads, the shipped examples, and handwritten corner
+// cases (rollback, livelock witnesses, untriggering, runtime errors).
+// Any disagreement is a bug in the compiled path by definition: the
+// interpreter is the oracle.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"activerules"
+	"activerules/internal/workload"
+)
+
+// twinOptions builds one mode's engine options; strategies carry
+// per-engine state (the seeded one owns an RNG), so each engine gets a
+// fresh instance.
+type twinOptions struct {
+	maxSteps int
+	strategy func() activerules.Strategy
+}
+
+func (o twinOptions) engineOpts(trace *[]string) activerules.EngineOptions {
+	opts := activerules.EngineOptions{MaxSteps: o.maxSteps}
+	if o.strategy != nil {
+		opts.Strategy = o.strategy()
+	}
+	if trace != nil {
+		opts.Trace = func(ev activerules.TraceEvent) { *trace = append(*trace, ev.String()) }
+	}
+	return opts
+}
+
+// modeRun is everything observable about one engine run.
+type modeRun struct {
+	trace       []string
+	userResults string // rendered ExecUser results per segment
+	userErr     string
+	assertErrs  []string // one per assertion point: "<nil>" or "%T: %v"
+	considered  []int
+	fired       []int
+	rolledBack  []bool
+	firedByRule []map[string]int
+	observables []string
+	stateHash   [32]byte
+	finalDB     string
+	livelocks   []string // rendered livelock witnesses, in order
+}
+
+// runMode executes seed + script segments (split on "assert" markers by
+// the caller into segs) through one engine mode and records everything
+// observable.
+func runMode(t *testing.T, sys *activerules.System, compiled bool, seed string, segs []string, opts twinOptions) modeRun {
+	t.Helper()
+	sys.SetCompiled(compiled)
+	var run modeRun
+	eng := sys.NewEngine(sys.NewDB(), opts.engineOpts(&run.trace))
+	if eng.Compiled() != compiled {
+		t.Fatalf("engine compiled=%v, want %v", eng.Compiled(), compiled)
+	}
+	if seed != "" {
+		if _, err := eng.ExecUser(seed); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+		if err := eng.Commit(); err != nil {
+			t.Fatalf("seed commit: %v", err)
+		}
+	}
+	for _, seg := range segs {
+		if seg != "" {
+			res, err := eng.ExecUser(seg)
+			if err != nil {
+				run.userErr = fmt.Sprintf("%T: %v", err, err)
+				break
+			}
+			run.userResults += fmt.Sprintf("%+v\n", res)
+		}
+		res, err := eng.Assert()
+		if err != nil {
+			run.assertErrs = append(run.assertErrs, fmt.Sprintf("%T: %v", err, err))
+			var le *activerules.LivelockError
+			if asLivelock(err, &le) {
+				run.livelocks = append(run.livelocks,
+					fmt.Sprintf("period=%d steps=%d cycle=%v", le.Period, le.Steps, le.Cycle))
+			}
+		} else {
+			run.assertErrs = append(run.assertErrs, "<nil>")
+		}
+		run.considered = append(run.considered, res.Considered)
+		run.fired = append(run.fired, res.Fired)
+		run.rolledBack = append(run.rolledBack, res.RolledBack)
+		run.firedByRule = append(run.firedByRule, res.FiredByRule)
+		for _, ev := range res.Observables {
+			run.observables = append(run.observables, ev.String())
+		}
+	}
+	run.stateHash = eng.StateHash()
+	run.finalDB = eng.DB().String()
+	return run
+}
+
+func asLivelock(err error, le **activerules.LivelockError) bool {
+	return errors.As(err, le)
+}
+
+// diffModes runs both modes and fails on any observable disagreement.
+// It returns the (oracle) interpreter run so callers can additionally
+// assert the scenario produced the outcome it was designed to produce.
+func diffModes(t *testing.T, sys *activerules.System, seed string, segs []string, opts twinOptions) modeRun {
+	t.Helper()
+	interp := runMode(t, sys, false, seed, segs, opts)
+	comp := runMode(t, sys, true, seed, segs, opts)
+
+	if !reflect.DeepEqual(interp.trace, comp.trace) {
+		t.Errorf("trace stream diverged:\n interp:   %q\n compiled: %q", interp.trace, comp.trace)
+	}
+	if interp.userResults != comp.userResults || interp.userErr != comp.userErr {
+		t.Errorf("user results diverged:\n interp:   %q %q\n compiled: %q %q",
+			interp.userResults, interp.userErr, comp.userResults, comp.userErr)
+	}
+	if !reflect.DeepEqual(interp.assertErrs, comp.assertErrs) {
+		t.Errorf("assert error taxonomy diverged:\n interp:   %v\n compiled: %v", interp.assertErrs, comp.assertErrs)
+	}
+	if !reflect.DeepEqual(interp.livelocks, comp.livelocks) {
+		t.Errorf("livelock witnesses diverged:\n interp:   %v\n compiled: %v", interp.livelocks, comp.livelocks)
+	}
+	if !reflect.DeepEqual(interp.considered, comp.considered) ||
+		!reflect.DeepEqual(interp.fired, comp.fired) ||
+		!reflect.DeepEqual(interp.rolledBack, comp.rolledBack) ||
+		!reflect.DeepEqual(interp.firedByRule, comp.firedByRule) {
+		t.Errorf("results diverged:\n interp:   c=%v f=%v rb=%v by=%v\n compiled: c=%v f=%v rb=%v by=%v",
+			interp.considered, interp.fired, interp.rolledBack, interp.firedByRule,
+			comp.considered, comp.fired, comp.rolledBack, comp.firedByRule)
+	}
+	if !reflect.DeepEqual(interp.observables, comp.observables) {
+		t.Errorf("observable stream diverged:\n interp:   %q\n compiled: %q", interp.observables, comp.observables)
+	}
+	if interp.stateHash != comp.stateHash {
+		t.Errorf("state hash diverged: %x vs %x", interp.stateHash, comp.stateHash)
+	}
+	if interp.finalDB != comp.finalDB {
+		t.Errorf("final database diverged:\n interp:\n%s compiled:\n%s", interp.finalDB, comp.finalDB)
+	}
+	return interp
+}
+
+// TestCompileDifferentialGenerated sweeps a grid of generated workloads
+// — 24 configurations crossing seeds, trigger-graph topology,
+// transition-table usage, and condition density — through both modes.
+// Cyclic configurations may livelock or exhaust the step budget; the
+// two modes must then fail identically, witness for witness.
+func TestCompileDifferentialGenerated(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, acyclic := range []bool{true, false} {
+			for _, transFrac := range []float64{0, 0.6} {
+				for _, condFrac := range []float64{0.3, 0.9} {
+					name := fmt.Sprintf("seed=%d/acyclic=%v/trans=%.1f/cond=%.1f", seed, acyclic, transFrac, condFrac)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						cfg := workload.Config{
+							Seed: seed, Rules: 12, Tables: 4, Acyclic: acyclic,
+							WriteFanout: 2, UpdateFrac: 0.3, DeleteFrac: 0.15,
+							ConditionFrac: condFrac, TransRefFrac: transFrac,
+							ObservableFrac: 0.3, PriorityDensity: 0.2,
+						}
+						g, err := workload.Generate(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sys, err := activerules.FromDefinitions(g.Schema, g.Defs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rng := rand.New(rand.NewSource(seed * 31))
+						seedSQL := ""
+						for _, tbl := range g.Schema.TableNames() {
+							seedSQL += fmt.Sprintf("insert into %s values (0, 10), (1, 45), (2, 70);\n", tbl)
+						}
+						segs := []string{
+							workload.UserScript(g.Schema, rng, 3),
+							workload.UserScript(g.Schema, rng, 3),
+						}
+						diffModes(t, sys, seedSQL, segs, twinOptions{maxSteps: 400})
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCompileDifferentialStrategies re-runs one branching generated
+// workload under every selection strategy (and a livelock-prone cyclic
+// one), since the compiled TriggeredRules must preserve definition
+// order for Choose and the strategies to behave identically.
+func TestCompileDifferentialStrategies(t *testing.T) {
+	g, err := workload.Generate(workload.Config{
+		Seed: 7, Rules: 10, Tables: 4, WriteFanout: 2,
+		UpdateFrac: 0.35, DeleteFrac: 0.1, ConditionFrac: 0.4,
+		TransRefFrac: 0.5, ObservableFrac: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := activerules.FromDefinitions(g.Schema, g.Defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := map[string]func() activerules.Strategy{
+		"first":  activerules.FirstByName,
+		"last":   activerules.LastByName,
+		"random": func() activerules.Strategy { return activerules.SeededStrategy(99) },
+	}
+	for name, strat := range strategies {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(70))
+			segs := []string{workload.UserScript(g.Schema, rng, 4)}
+			seedSQL := ""
+			for _, tbl := range g.Schema.TableNames() {
+				seedSQL += fmt.Sprintf("insert into %s values (0, 20), (1, 55);\n", tbl)
+			}
+			diffModes(t, sys, seedSQL, segs, twinOptions{maxSteps: 400, strategy: strat})
+		})
+	}
+}
+
+// TestCompileDifferentialExamples runs the shipped example rule sets.
+func TestCompileDifferentialExamples(t *testing.T) {
+	cases := []struct {
+		dir, seed string
+		segs      []string
+	}{
+		{
+			dir:  "bank",
+			seed: "insert into account values (1, 'ann', 100);\ninsert into account values (2, 'bob', 25)",
+			segs: []string{
+				"update account set balance = balance - 80 where id = 2",
+				"insert into account values (3, 'cyd', -5)",
+				"delete from account where id = 2",
+			},
+		},
+		{
+			dir:  "powernet",
+			seed: "insert into node values (1, 'plant', true), (2, 'sub', false), (3, 'home', false);\ninsert into wire values (10, 1, 2, false), (11, 2, 3, false)",
+			segs: []string{
+				"update node set powered = true where id = 1",
+				"insert into wire values (12, 3, 1, false)",
+			},
+		},
+		{
+			dir:  "lintdemo",
+			segs: []string{"insert into t values (1)"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			sys, err := activerules.LoadFiles(
+				"testdata/"+tc.dir+"/schema.sdl", "testdata/"+tc.dir+"/rules.srl")
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffModes(t, sys, tc.seed, tc.segs, twinOptions{maxSteps: 1000})
+		})
+	}
+}
+
+// TestCompileDifferentialHandwritten pins the corner cases the grid is
+// unlikely to hit precisely: rollback actions, a livelock witness, net-
+// effect untriggering, runtime action errors, and budget exhaustion.
+func TestCompileDifferentialHandwritten(t *testing.T) {
+	cases := []struct {
+		name, schema, rules, seed string
+		segs                      []string
+		maxSteps                  int
+		// check asserts the scenario exercised what its name promises
+		// (on the oracle run; diffModes already proved both modes agree).
+		check func(t *testing.T, run modeRun)
+	}{
+		{
+			name:   "rollback-action",
+			schema: "table t (v int)\ntable audit (v int)",
+			rules: `
+create rule guard on t
+when inserted
+if exists (select 1 from inserted where v < 0)
+then rollback
+
+create rule log on t
+when inserted
+then insert into audit select v from inserted
+`,
+			segs: []string{"insert into t values (5)", "insert into t values (-1)"},
+			check: func(t *testing.T, run modeRun) {
+				if !run.rolledBack[1] {
+					t.Error("second assertion did not roll back")
+				}
+			},
+		},
+		{
+			name:   "livelock-witness",
+			schema: "table a (v int)\ntable b (v int)",
+			rules: `
+create rule ping on a
+when inserted
+then delete from b; insert into b values (1)
+
+create rule pong on b
+when inserted
+then delete from a; insert into a values (1)
+`,
+			segs:     []string{"insert into a values (1)"},
+			maxSteps: 200,
+			check: func(t *testing.T, run modeRun) {
+				if len(run.livelocks) == 0 {
+					t.Errorf("no livelock witness; errors: %v", run.assertErrs)
+				}
+			},
+		},
+		{
+			name:   "untriggering-by-net-effect",
+			schema: "table t (v int)\ntable x (v int)\ntable out (v int)",
+			rules: `
+create rule feed on t
+when inserted
+then insert into x values (1)
+
+create rule sweep on t
+when inserted
+then delete from x
+precedes consume
+
+create rule consume on x
+when inserted
+then insert into out select v from inserted
+`,
+			segs: []string{"insert into t values (1)"},
+			check: func(t *testing.T, run modeRun) {
+				// sweep ran before consume and emptied x, so consume's
+				// net transition is empty: it must never fire.
+				if n := run.firedByRule[0]["consume"]; n != 0 {
+					t.Errorf("consume fired %d times despite untriggering", n)
+				}
+			},
+		},
+		{
+			name:   "runtime-action-error",
+			schema: "table t (v int)\ntable d (v int)",
+			rules: `
+create rule boom on t
+when inserted
+then insert into d select v / (v - v) from inserted
+`,
+			segs: []string{"insert into t values (3)"},
+			check: func(t *testing.T, run modeRun) {
+				if len(run.assertErrs) == 0 || run.assertErrs[0] == "<nil>" {
+					t.Errorf("runtime error not surfaced: %v", run.assertErrs)
+				}
+			},
+		},
+		{
+			name:   "maxsteps-exhausted",
+			schema: "table t (v int)",
+			rules: `
+create rule grow on t
+when inserted
+then insert into t select v + 1 from inserted
+`,
+			segs:     []string{"insert into t values (0)"},
+			maxSteps: 25,
+			check: func(t *testing.T, run modeRun) {
+				if len(run.assertErrs) == 0 || run.assertErrs[0] == "<nil>" {
+					t.Errorf("budget exhaustion not surfaced: %v", run.assertErrs)
+				}
+			},
+		},
+		{
+			name:   "condition-false-skips",
+			schema: "table t (v int)\ntable d (v int)",
+			rules: `
+create rule maybe on t
+when inserted
+if exists (select 1 from inserted where v > 100)
+then insert into d values (1); select v from d
+`,
+			segs: []string{"insert into t values (5)", "insert into t values (500)"},
+		},
+		{
+			name:   "observable-stream",
+			schema: "table t (v int)\ntable d (v int)",
+			rules: `
+create rule echo on t
+when inserted, updated(v)
+then insert into d select v from inserted; select v from d
+`,
+			seed: "insert into t values (1)",
+			segs: []string{"insert into t values (2)", "update t set v = 9 where v = 1"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := activerules.Load(tc.schema, tc.rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := tc.maxSteps
+			if ms == 0 {
+				ms = 1000
+			}
+			run := diffModes(t, sys, tc.seed, tc.segs, twinOptions{maxSteps: ms})
+			if tc.check != nil {
+				tc.check(t, run)
+			}
+		})
+	}
+}

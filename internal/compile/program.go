@@ -1,0 +1,125 @@
+package compile
+
+import (
+	"sync"
+
+	"activerules/internal/rules"
+	"activerules/internal/sqlmini"
+	"activerules/internal/storage"
+)
+
+// condFn decides a compiled condition with the interpreter's
+// EvalPredicate semantics: only a definite true satisfies.
+type condFn func(env *Env) (bool, error)
+
+// compiledRule is one rule's compiled units.
+type compiledRule struct {
+	cond   condFn // nil when the rule has no condition
+	action []stmtFn
+	nSlots int
+}
+
+// Program holds the compiled conditions and actions of a rule set plus
+// its discrimination network. It is immutable after Compile and shared
+// by every engine (and engine clone) running the set.
+type Program struct {
+	rules     []compiledRule
+	matcher   *Matcher
+	fallbacks int
+}
+
+// Compile compiles every rule of the set. Units the compiler cannot
+// handle fall back to interpreter closures (counted by Fallbacks), so
+// Compile never fails and compiled semantics never diverge.
+func Compile(set *rules.Set) *Program {
+	rs := set.Rules()
+	p := &Program{
+		rules:   make([]compiledRule, len(rs)),
+		matcher: NewMatcher(set),
+	}
+	for i, r := range rs {
+		c := &compiler{sch: set.Schema()}
+		cr := &p.rules[i]
+		if r.Condition != nil {
+			if ec, err := c.compileExpr(r.Condition); err == nil {
+				fn := ec.fn
+				cr.cond = func(env *Env) (bool, error) {
+					v, err := fn(env)
+					if err != nil {
+						return false, err
+					}
+					return v.Kind == storage.KindBool && v.B, nil
+				}
+			} else {
+				p.fallbacks++
+				cond := r.Condition
+				cr.cond = func(env *Env) (bool, error) {
+					ev := &sqlmini.Evaluator{DB: env.DB, Trans: env.Trans}
+					return ev.EvalPredicate(cond)
+				}
+			}
+		}
+		cr.action = make([]stmtFn, len(r.Action))
+		for j, st := range r.Action {
+			if fn, err := c.compileStatement(st); err == nil {
+				cr.action[j] = fn
+			} else {
+				p.fallbacks++
+				stc := st
+				cr.action[j] = func(env *Env) (sqlmini.StmtResult, error) {
+					ev := &sqlmini.Evaluator{DB: env.DB, Trans: env.Trans, Mut: env.Mut}
+					return ev.Exec(stc)
+				}
+			}
+		}
+		cr.nSlots = c.nSlots
+	}
+	return p
+}
+
+// programCache memoizes Compile per rule set: engines are created
+// freely (per request, per explorer fork, per test), but a set's
+// closures are compiled once. Sets are long-lived and few, so the map
+// stays small.
+var programCache sync.Map // *rules.Set -> *Program
+
+// For returns the (memoized) compiled program for a rule set.
+func For(set *rules.Set) *Program {
+	if p, ok := programCache.Load(set); ok {
+		return p.(*Program)
+	}
+	p := Compile(set)
+	actual, _ := programCache.LoadOrStore(set, p)
+	return actual.(*Program)
+}
+
+// Matcher returns the set's discrimination network.
+func (p *Program) Matcher() *Matcher { return p.matcher }
+
+// Fallbacks returns how many units (conditions or action statements)
+// fell back to the interpreter.
+func (p *Program) Fallbacks() int { return p.fallbacks }
+
+// HasCondition reports whether rule i has a compiled condition.
+func (p *Program) HasCondition(i int) bool { return p.rules[i].cond != nil }
+
+// EvalCondition evaluates rule i's condition; rules without a
+// condition are trivially satisfied.
+func (p *Program) EvalCondition(i int, env *Env) (bool, error) {
+	cr := &p.rules[i]
+	if cr.cond == nil {
+		return true, nil
+	}
+	env.ensure(cr.nSlots)
+	return cr.cond(env)
+}
+
+// ActionLen returns the number of statements in rule i's action.
+func (p *Program) ActionLen(i int) int { return len(p.rules[i].action) }
+
+// ExecStatement executes statement j of rule i's action.
+func (p *Program) ExecStatement(i, j int, env *Env) (sqlmini.StmtResult, error) {
+	cr := &p.rules[i]
+	env.ensure(cr.nSlots)
+	return cr.action[j](env)
+}

@@ -1,0 +1,786 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"activerules/internal/sqlmini"
+	"activerules/internal/storage"
+)
+
+// The compiled query machinery mirrors the interpreter's evalSelect /
+// exec* structure statement-for-statement: materialize sources once,
+// nested-loop join with the WHERE applied at the innermost level,
+// then grouping / aggregates / ORDER BY / DISTINCT / LIMIT in the
+// same order, with every value-level decision delegated to sqlmini's
+// shared semantics helpers. The difference is purely in binding: a
+// match is a snapshot of the block's statically assigned slots
+// instead of a linked frame chain.
+
+// matchSnap is one join match: the row bound to each FROM item of the
+// block, in FROM order. A nil snapshot (the no-FROM query form) leaves
+// the outer bindings untouched.
+type matchSnap [][]storage.Value
+
+// srcFn materializes the rows of one FROM item.
+type srcFn func(env *Env) ([][]storage.Value, error)
+
+func (c *compiler) compileSource(tr *sqlmini.TableRef) srcFn {
+	if tr.Trans != sqlmini.TransNone {
+		kind := tr.Trans
+		return func(env *Env) ([][]storage.Value, error) {
+			return env.Trans.Rows(kind), nil
+		}
+	}
+	table := tr.RTable
+	return func(env *Env) ([][]storage.Value, error) {
+		t := env.DB.Table(table)
+		if t == nil {
+			return nil, fmt.Errorf("sql: missing table %q", table)
+		}
+		rows := make([][]storage.Value, 0, t.Len())
+		t.Scan(func(tu *storage.Tuple) bool {
+			row := make([]storage.Value, len(tu.Vals))
+			copy(row, tu.Vals)
+			rows = append(rows, row)
+			return true
+		})
+		return rows, nil
+	}
+}
+
+// compiledSelect carries the pieces of one compiled query block.
+type compiledSelect struct {
+	srcs    []srcFn
+	base    int // first slot of this block's FROM bindings
+	where   *exprC
+	star    bool
+	items   []exprFn
+	orderBy []exprFn
+	desc    []bool
+	groupBy []exprFn
+	// Grouped/aggregate forms evaluate items, HAVING, and ORDER BY
+	// keys in group context.
+	gItems   []groupFn
+	gHaving  groupFn
+	gOrder   []groupFn
+	aggs     []aggFn // non-grouped aggregate query form
+	distinct bool
+	limit    int
+}
+
+// groupFn evaluates an expression in group context (aggregates over
+// the members, everything else over the representative match).
+type groupFn func(env *Env, rep matchSnap, members []matchSnap) (storage.Value, error)
+
+// aggFn evaluates one aggregate over a set of matches.
+type aggFn func(env *Env, matches []matchSnap) (storage.Value, error)
+
+// restore rebinds a block's slots to one match.
+func (cs *compiledSelect) restore(env *Env, m matchSnap) {
+	for j, row := range m {
+		env.Slots[cs.base+j] = row
+	}
+}
+
+func (c *compiler) compileSelect(s *sqlmini.Select) (selFn, error) {
+	cs := &compiledSelect{
+		base:     len(c.stack),
+		star:     len(s.Items) == 1 && s.Items[0].Expr == nil,
+		distinct: s.Distinct,
+		limit:    s.Limit,
+		desc:     make([]bool, len(s.OrderBy)),
+	}
+	cs.srcs = make([]srcFn, len(s.From))
+	for i, tr := range s.From {
+		cs.srcs[i] = c.compileSource(tr)
+		c.push(tr.EffectiveAlias())
+	}
+	defer c.pop(len(s.From))
+
+	if s.Where != nil {
+		w, err := c.compileExpr(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		cs.where = &w
+	}
+	for i, o := range s.OrderBy {
+		cs.desc[i] = o.Desc
+	}
+
+	switch {
+	case len(s.GroupBy) > 0:
+		for _, g := range s.GroupBy {
+			gc, err := c.compileExpr(g)
+			if err != nil {
+				return nil, err
+			}
+			cs.groupBy = append(cs.groupBy, gc.fn)
+		}
+		for _, it := range s.Items {
+			gf, err := c.compileGroupExpr(cs, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			cs.gItems = append(cs.gItems, gf)
+		}
+		if s.Having != nil {
+			gf, err := c.compileGroupExpr(cs, s.Having)
+			if err != nil {
+				return nil, err
+			}
+			cs.gHaving = gf
+		}
+		for _, o := range s.OrderBy {
+			gf, err := c.compileGroupExpr(cs, o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			cs.gOrder = append(cs.gOrder, gf)
+		}
+		return cs.runGrouped, nil
+
+	case sqlmini.HasAggregateItems(s):
+		for _, it := range s.Items {
+			agg, ok := it.Expr.(*sqlmini.Aggregate)
+			if !ok {
+				return nil, errUnsupported{what: "mixed aggregate select list"}
+			}
+			af, err := c.compileAggregate(cs, agg)
+			if err != nil {
+				return nil, err
+			}
+			cs.aggs = append(cs.aggs, af)
+		}
+		return cs.runAggregate, nil
+
+	default:
+		if !cs.star {
+			for _, it := range s.Items {
+				ic, err := c.compileExpr(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				cs.items = append(cs.items, ic.fn)
+			}
+		}
+		for _, o := range s.OrderBy {
+			oc, err := c.compileExpr(o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			cs.orderBy = append(cs.orderBy, oc.fn)
+		}
+		return cs.runPlain, nil
+	}
+}
+
+func (c *compiler) compileAggregate(cs *compiledSelect, agg *sqlmini.Aggregate) (aggFn, error) {
+	if agg.Func == "count" && agg.Arg == nil {
+		return func(_ *Env, matches []matchSnap) (storage.Value, error) {
+			return storage.IntV(int64(len(matches))), nil
+		}, nil
+	}
+	ac, err := c.compileExpr(agg.Arg)
+	if err != nil {
+		return nil, err
+	}
+	fn := agg.Func
+	argFn := ac.fn
+	return func(env *Env, matches []matchSnap) (storage.Value, error) {
+		var vals []storage.Value
+		for _, m := range matches {
+			cs.restore(env, m)
+			v, err := argFn(env)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			if !v.IsNull() {
+				vals = append(vals, v)
+			}
+		}
+		return sqlmini.FoldAggregate(fn, vals)
+	}, nil
+}
+
+// compileGroupExpr mirrors the interpreter's evalGroupExpr: aggregates
+// go over the group's members, composite nodes recurse, and leaves are
+// evaluated over the representative match.
+func (c *compiler) compileGroupExpr(cs *compiledSelect, e sqlmini.Expr) (groupFn, error) {
+	switch x := e.(type) {
+	case *sqlmini.Aggregate:
+		af, err := c.compileAggregate(cs, x)
+		if err != nil {
+			return nil, err
+		}
+		return func(env *Env, _ matchSnap, members []matchSnap) (storage.Value, error) {
+			return af(env, members)
+		}, nil
+	case *sqlmini.Unary:
+		sub, err := c.compileGroupExpr(cs, x.X)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(env *Env, rep matchSnap, members []matchSnap) (storage.Value, error) {
+			v, err := sub(env, rep, members)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return sqlmini.ApplyUnary(op, v)
+		}, nil
+	case *sqlmini.Binary:
+		lf, err := c.compileGroupExpr(cs, x.L)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := c.compileGroupExpr(cs, x.R)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(env *Env, rep matchSnap, members []matchSnap) (storage.Value, error) {
+			l, err := lf(env, rep, members)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			r, err := rf(env, rep, members)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return sqlmini.ApplyBinary(op, l, r)
+		}, nil
+	case *sqlmini.IsNull:
+		sub, err := c.compileGroupExpr(cs, x.X)
+		if err != nil {
+			return nil, err
+		}
+		neg := x.Negate
+		return func(env *Env, rep matchSnap, members []matchSnap) (storage.Value, error) {
+			v, err := sub(env, rep, members)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			return storage.BoolV(v.IsNull() != neg), nil
+		}, nil
+	case *sqlmini.InList:
+		sub, err := c.compileGroupExpr(cs, x.X)
+		if err != nil {
+			return nil, err
+		}
+		members := make([]groupFn, len(x.Vals))
+		for i, ve := range x.Vals {
+			m, err := c.compileGroupExpr(cs, ve)
+			if err != nil {
+				return nil, err
+			}
+			members[i] = m
+		}
+		neg := x.Negate
+		return func(env *Env, rep matchSnap, mem []matchSnap) (storage.Value, error) {
+			v, err := sub(env, rep, mem)
+			if err != nil {
+				return storage.Value{}, err
+			}
+			vals := make([]storage.Value, len(members))
+			for i, m := range members {
+				vv, err := m(env, rep, mem)
+				if err != nil {
+					return storage.Value{}, err
+				}
+				vals[i] = vv
+			}
+			return sqlmini.InResult(v, vals, neg), nil
+		}, nil
+	default:
+		ec, err := c.compileExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		fn := ec.fn
+		return func(env *Env, rep matchSnap, _ []matchSnap) (storage.Value, error) {
+			cs.restore(env, rep)
+			return fn(env)
+		}, nil
+	}
+}
+
+// collect runs the nested-loop join, returning the match snapshots.
+func (cs *compiledSelect) collect(env *Env) ([]matchSnap, error) {
+	n := len(cs.srcs)
+	if n == 0 {
+		// A query with no FROM evaluates its items once against the
+		// enclosing bindings.
+		return []matchSnap{nil}, nil
+	}
+	sources := make([][][]storage.Value, n)
+	for i, src := range cs.srcs {
+		rows, err := src(env)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = rows
+	}
+	var matches []matchSnap
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == n {
+			if cs.where != nil {
+				v, err := cs.where.fn(env)
+				if err != nil {
+					return err
+				}
+				ok, err := sqlmini.PredTruth(v)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			snap := make(matchSnap, n)
+			copy(snap, env.Slots[cs.base:cs.base+n])
+			matches = append(matches, snap)
+			return nil
+		}
+		for _, row := range sources[i] {
+			env.Slots[cs.base+i] = row
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return nil, err
+	}
+	return matches, nil
+}
+
+// runPlain is the non-grouped, non-aggregate query form.
+func (cs *compiledSelect) runPlain(env *Env) ([][]storage.Value, error) {
+	matches, err := cs.collect(env)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(cs.orderBy) > 0 {
+		keys := make([][]storage.Value, len(matches))
+		for i, m := range matches {
+			cs.restore(env, m)
+			keys[i] = make([]storage.Value, len(cs.orderBy))
+			for k, of := range cs.orderBy {
+				v, err := of(env)
+				if err != nil {
+					return nil, err
+				}
+				keys[i][k] = v
+			}
+		}
+		var sortErr error
+		idx := make([]int, len(matches))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return sqlmini.OrderLess(keys[idx[a]], keys[idx[b]], cs.desc, &sortErr)
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		sorted := make([]matchSnap, len(matches))
+		for i, j := range idx {
+			sorted[i] = matches[j]
+		}
+		matches = sorted
+	}
+
+	results := make([][]storage.Value, 0, len(matches))
+	for _, m := range matches {
+		if cs.star {
+			var row []storage.Value
+			for j := range m {
+				row = append(row, m[j]...)
+			}
+			results = append(results, row)
+			continue
+		}
+		cs.restore(env, m)
+		row := make([]storage.Value, len(cs.items))
+		for i, it := range cs.items {
+			v, err := it(env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		results = append(results, row)
+	}
+	if cs.distinct {
+		results = sqlmini.DedupRows(results)
+	}
+	if cs.limit >= 0 && len(results) > cs.limit {
+		results = results[:cs.limit]
+	}
+	return results, nil
+}
+
+// runAggregate is the non-grouped aggregate query form: one row.
+func (cs *compiledSelect) runAggregate(env *Env) ([][]storage.Value, error) {
+	matches, err := cs.collect(env)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]storage.Value, len(cs.aggs))
+	for i, af := range cs.aggs {
+		v, err := af(env, matches)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return [][]storage.Value{out}, nil
+}
+
+// runGrouped is the GROUP BY / HAVING query form.
+func (cs *compiledSelect) runGrouped(env *Env) ([][]storage.Value, error) {
+	matches, err := cs.collect(env)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		rep     matchSnap
+		members []matchSnap
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, m := range matches {
+		cs.restore(env, m)
+		var key []byte
+		for _, gf := range cs.groupBy {
+			v, err := gf(env)
+			if err != nil {
+				return nil, err
+			}
+			key = v.AppendCanonical(key)
+			key = append(key, ',')
+		}
+		k := string(key)
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{rep: m}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.members = append(gr.members, m)
+	}
+
+	type projected struct {
+		row  []storage.Value
+		keys []storage.Value
+	}
+	var rows []projected
+	for _, k := range order {
+		gr := groups[k]
+		if cs.gHaving != nil {
+			hv, err := cs.gHaving(env, gr.rep, gr.members)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := sqlmini.PredTruth(hv)
+			if err != nil {
+				return nil, fmt.Errorf("sql: HAVING: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		row := make([]storage.Value, len(cs.gItems))
+		for i, gf := range cs.gItems {
+			v, err := gf(env, gr.rep, gr.members)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		p := projected{row: row}
+		for _, gf := range cs.gOrder {
+			v, err := gf(env, gr.rep, gr.members)
+			if err != nil {
+				return nil, err
+			}
+			p.keys = append(p.keys, v)
+		}
+		rows = append(rows, p)
+	}
+
+	if len(cs.gOrder) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(a, b int) bool {
+			return sqlmini.OrderLess(rows[a].keys, rows[b].keys, cs.desc, &sortErr)
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	out := make([][]storage.Value, 0, len(rows))
+	for _, p := range rows {
+		out = append(out, p.row)
+	}
+	if cs.distinct {
+		out = sqlmini.DedupRows(out)
+	}
+	if cs.limit >= 0 && len(out) > cs.limit {
+		out = out[:cs.limit]
+	}
+	return out, nil
+}
+
+// compileStatement compiles one resolved action statement.
+func (c *compiler) compileStatement(st sqlmini.Statement) (stmtFn, error) {
+	switch s := st.(type) {
+	case *sqlmini.Select:
+		sel, err := c.compileSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return func(env *Env) (sqlmini.StmtResult, error) {
+			rows, err := sel(env)
+			return sqlmini.StmtResult{Rows: rows}, err
+		}, nil
+	case *sqlmini.Insert:
+		return c.compileInsert(s)
+	case *sqlmini.Delete:
+		return c.compileDelete(s)
+	case *sqlmini.Update:
+		return c.compileUpdate(s)
+	case *sqlmini.Rollback:
+		return func(*Env) (sqlmini.StmtResult, error) {
+			return sqlmini.StmtResult{Rolled: true}, nil
+		}, nil
+	default:
+		return nil, errUnsupported{what: fmt.Sprintf("statement %T", st)}
+	}
+}
+
+func requireMut(env *Env) error {
+	if env.Mut == nil {
+		return fmt.Errorf("sql: mutating statement in read-only context")
+	}
+	return nil
+}
+
+func (c *compiler) compileInsert(s *sqlmini.Insert) (stmtFn, error) {
+	def := c.sch.Table(s.Table)
+	if def == nil {
+		return nil, errUnsupported{what: fmt.Sprintf("insert into unknown table %q", s.Table)}
+	}
+	table := s.Table
+	var colPos []int
+	if len(s.Columns) > 0 {
+		colPos = make([]int, len(s.Columns))
+		for i, col := range s.Columns {
+			colPos[i] = def.ColumnIndex(col)
+		}
+	}
+	nCols := len(def.Columns)
+
+	var queryFn selFn
+	var rowFns [][]exprFn
+	if s.Query != nil {
+		sel, err := c.compileSelect(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		queryFn = sel
+	} else {
+		for _, row := range s.Rows {
+			fns := make([]exprFn, len(row))
+			for i, e := range row {
+				ec, err := c.compileExpr(e)
+				if err != nil {
+					return nil, err
+				}
+				fns[i] = ec.fn
+			}
+			rowFns = append(rowFns, fns)
+		}
+	}
+
+	return func(env *Env) (sqlmini.StmtResult, error) {
+		if err := requireMut(env); err != nil {
+			return sqlmini.StmtResult{}, err
+		}
+		var srcRows [][]storage.Value
+		if queryFn != nil {
+			rows, err := queryFn(env)
+			if err != nil {
+				return sqlmini.StmtResult{}, err
+			}
+			srcRows = rows
+		} else {
+			for _, fns := range rowFns {
+				vals := make([]storage.Value, len(fns))
+				for i, fn := range fns {
+					v, err := fn(env)
+					if err != nil {
+						return sqlmini.StmtResult{}, err
+					}
+					vals[i] = v
+				}
+				srcRows = append(srcRows, vals)
+			}
+		}
+		n := 0
+		for _, src := range srcRows {
+			full := src
+			if colPos != nil {
+				full = make([]storage.Value, nCols)
+				for i := range full {
+					full[i] = storage.Null
+				}
+				for i, pos := range colPos {
+					full[pos] = src[i]
+				}
+			}
+			if _, err := env.Mut.Insert(table, full); err != nil {
+				return sqlmini.StmtResult{}, err
+			}
+			n++
+		}
+		return sqlmini.StmtResult{Affected: n}, nil
+	}, nil
+}
+
+func (c *compiler) compileDelete(s *sqlmini.Delete) (stmtFn, error) {
+	table := s.Table
+	slot := c.push(s.Table)
+	defer c.pop(1)
+	var whereFn exprFn
+	if s.Where != nil {
+		wc, err := c.compileExpr(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		whereFn = wc.fn
+	}
+	return func(env *Env) (sqlmini.StmtResult, error) {
+		if err := requireMut(env); err != nil {
+			return sqlmini.StmtResult{}, err
+		}
+		env.ensure(slot + 1)
+		t := env.DB.Table(table)
+		var ids []storage.TupleID
+		var scanErr error
+		t.Scan(func(tu *storage.Tuple) bool {
+			if whereFn != nil {
+				env.Slots[slot] = tu.Vals
+				v, err := whereFn(env)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				ok, err := sqlmini.PredTruth(v)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			ids = append(ids, tu.ID)
+			return true
+		})
+		if scanErr != nil {
+			return sqlmini.StmtResult{}, scanErr
+		}
+		for _, id := range ids {
+			if err := env.Mut.Delete(table, id); err != nil {
+				return sqlmini.StmtResult{}, err
+			}
+		}
+		return sqlmini.StmtResult{Affected: len(ids)}, nil
+	}, nil
+}
+
+func (c *compiler) compileUpdate(s *sqlmini.Update) (stmtFn, error) {
+	table := s.Table
+	slot := c.push(s.Table)
+	defer c.pop(1)
+	var whereFn exprFn
+	if s.Where != nil {
+		wc, err := c.compileExpr(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		whereFn = wc.fn
+	}
+	setCols := make([]string, len(s.Sets))
+	setFns := make([]exprFn, len(s.Sets))
+	for i, sc := range s.Sets {
+		setCols[i] = sc.Column
+		ec, err := c.compileExpr(sc.Expr)
+		if err != nil {
+			return nil, err
+		}
+		setFns[i] = ec.fn
+	}
+	return func(env *Env) (sqlmini.StmtResult, error) {
+		if err := requireMut(env); err != nil {
+			return sqlmini.StmtResult{}, err
+		}
+		env.ensure(slot + 1)
+		t := env.DB.Table(table)
+		type change struct {
+			id   storage.TupleID
+			vals []storage.Value
+		}
+		var changes []change
+		var scanErr error
+		// All right-hand sides are evaluated against the pre-update
+		// state; apply only afterwards.
+		t.Scan(func(tu *storage.Tuple) bool {
+			env.Slots[slot] = tu.Vals
+			if whereFn != nil {
+				v, err := whereFn(env)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				ok, err := sqlmini.PredTruth(v)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			ch := change{id: tu.ID, vals: make([]storage.Value, len(setFns))}
+			for i, fn := range setFns {
+				v, err := fn(env)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				ch.vals[i] = v
+			}
+			changes = append(changes, ch)
+			return true
+		})
+		if scanErr != nil {
+			return sqlmini.StmtResult{}, scanErr
+		}
+		for _, ch := range changes {
+			for i, col := range setCols {
+				if err := env.Mut.Update(table, ch.id, col, ch.vals[i]); err != nil {
+					return sqlmini.StmtResult{}, err
+				}
+			}
+		}
+		return sqlmini.StmtResult{Affected: len(changes)}, nil
+	}, nil
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"activerules/internal/compile"
 	"activerules/internal/rules"
 	"activerules/internal/sqlmini"
 	"activerules/internal/storage"
@@ -93,6 +94,15 @@ type Options struct {
 	// of 256, capped at MaxSteps. Tracking costs one state fingerprint
 	// per step, which is why it only runs under budget pressure.
 	LivelockWindow int
+	// Compiled switches the engine to the compiled hot path: rule
+	// conditions and actions run as closures compiled at engine
+	// construction (internal/compile), and triggered-rule discovery is
+	// delta-driven — mutations mark candidate rules through a
+	// per-(table, op-kind) index instead of every step rescanning all
+	// rules. The interpreter remains the reference oracle; compiled
+	// execution is observably identical (results, traces, errors,
+	// fingerprints), which the differential test battery enforces.
+	Compiled bool
 	// Journal, when non-nil, receives transaction boundaries for
 	// write-ahead logging (internal/wal): Commit at every quiescent
 	// assertion point and from Engine.Commit (followed by Begin), Abort
@@ -144,6 +154,12 @@ type Engine struct {
 	// next Assert/AssertContext resumes instead of re-seeing the
 	// transition from assertStart.
 	inFlight bool
+
+	// prog and cand are set in compiled mode (Options.Compiled): the
+	// set's compiled closures (shared, immutable) and this engine's
+	// candidate bitset for delta-driven triggering.
+	prog *compile.Program
+	cand *compile.Candidates
 }
 
 // New creates an engine over db for the rule set. The current database
@@ -155,13 +171,36 @@ func New(set *rules.Set, db *storage.DB, opts Options) *Engine {
 	if opts.Strategy == nil {
 		opts.Strategy = FirstByName{}
 	}
-	return &Engine{
+	e := &Engine{
 		set:      set,
 		db:       db,
 		log:      &transition.Log{},
 		opts:     opts,
 		marks:    make([]int, set.Len()),
 		snapshot: db.Clone(),
+	}
+	if opts.Compiled {
+		e.prog = compile.For(set)
+		e.cand = e.prog.Matcher().NewCandidates()
+	}
+	return e
+}
+
+// Compiled reports whether this engine runs the compiled hot path.
+func (e *Engine) Compiled() bool { return e.prog != nil }
+
+// Program returns the compiled program, or nil in interpreted mode.
+// Tests use it to assert that no unit fell back to the interpreter.
+func (e *Engine) Program() *compile.Program { return e.prog }
+
+// RebuildTriggerIndex recomputes the candidate bitset from scratch out
+// of the transition log and the rule marks, discarding the
+// incrementally maintained bits. The two paths are observably
+// equivalent (the incremental bits are a superset that the triggered
+// check filters identically); metamorphic tests drive both.
+func (e *Engine) RebuildTriggerIndex() {
+	if e.cand != nil {
+		e.cand.Rebuild(e.log, e.marks)
 	}
 }
 
@@ -187,7 +226,7 @@ func (e *Engine) InFlight() bool { return e.inFlight }
 // mutator builds the recording mutator for the current database,
 // applying the fault-injection wrapper when configured.
 func (e *Engine) mutator() sqlmini.Mutator {
-	var m sqlmini.Mutator = recordingMutator{db: e.db, log: e.log}
+	var m sqlmini.Mutator = recordingMutator{db: e.db, log: e.log, cand: e.cand}
 	if e.opts.WrapMutator != nil {
 		m = e.opts.WrapMutator(m)
 	}
@@ -195,10 +234,14 @@ func (e *Engine) mutator() sqlmini.Mutator {
 }
 
 // recordingMutator applies changes to the database and records them in
-// the transition log.
+// the transition log. In compiled mode it additionally marks candidate
+// rules in the delta-driven trigger index — the same primitive that
+// enters the log enters the discrimination network, so a recorded
+// operation can never trigger a rule without also marking it.
 type recordingMutator struct {
-	db  *storage.DB
-	log *transition.Log
+	db   *storage.DB
+	log  *transition.Log
+	cand *compile.Candidates // nil in interpreted mode
 }
 
 func (m recordingMutator) Insert(table string, vals []storage.Value) (storage.TupleID, error) {
@@ -207,6 +250,9 @@ func (m recordingMutator) Insert(table string, vals []storage.Value) (storage.Tu
 		return 0, err
 	}
 	m.log.RecordInsert(table, id)
+	if m.cand != nil {
+		m.cand.Note(table, transition.KindInsert)
+	}
 	return id, nil
 }
 
@@ -219,6 +265,9 @@ func (m recordingMutator) Delete(table string, id storage.TupleID) error {
 	copy(old, tu.Vals)
 	m.db.Delete(table, id)
 	m.log.RecordDelete(table, id, old)
+	if m.cand != nil {
+		m.cand.Note(table, transition.KindDelete)
+	}
 	return nil
 }
 
@@ -233,6 +282,12 @@ func (m recordingMutator) Update(table string, id storage.TupleID, col string, v
 		return err
 	}
 	m.log.RecordUpdate(table, id, old)
+	if m.cand != nil {
+		// A raw update entry does not know which columns will survive
+		// net-effect composition, so it marks every rule watching any
+		// update on the table; the exact transition predicate filters.
+		m.cand.Note(table, transition.KindUpdate)
+	}
 	return nil
 }
 
@@ -310,7 +365,30 @@ func (e *Engine) pendingNet(r *rules.Rule) *transition.Net {
 // TriggeredRules returns the currently triggered rules in definition
 // order: those whose transition predicate holds over their pending
 // transition (Section 2).
+//
+// In compiled mode only candidate rules are examined — rules marked by
+// a recorded operation of a kind they watch on their table. Candidacy
+// over-approximates triggering (DESIGN.md §11 proves a triggered rule
+// is always a candidate), and the exact transition predicate is still
+// evaluated per candidate, so both modes return identical slices. A
+// candidate whose watched kinds have no log entry at or past its mark
+// can never become triggered without a new Note, so its bit is cleared.
 func (e *Engine) TriggeredRules() []*rules.Rule {
+	if e.cand != nil {
+		var out []*rules.Rule
+		rs := e.set.Rules()
+		e.cand.ForEach(func(i int) {
+			if e.cand.StaleAt(i, e.log, e.marks[i]) {
+				e.cand.Clear(i)
+				return
+			}
+			r := rs[i]
+			if e.pendingNet(r).Ops().Intersects(r.TriggeredBy()) {
+				out = append(out, r)
+			}
+		})
+		return out
+	}
 	var out []*rules.Rule
 	for _, r := range e.set.Rules() {
 		if e.pendingNet(r).Ops().Intersects(r.TriggeredBy()) {
@@ -382,8 +460,12 @@ func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, 
 
 	cond := true
 	if r.Condition != nil {
-		ev := &sqlmini.Evaluator{DB: e.db, Trans: td}
-		cond, err = ev.EvalPredicate(r.Condition)
+		if e.prog != nil {
+			cond, err = e.prog.EvalCondition(r.Index(), &compile.Env{DB: e.db, Trans: td})
+		} else {
+			ev := &sqlmini.Evaluator{DB: e.db, Trans: td}
+			cond, err = ev.EvalPredicate(r.Condition)
+		}
 		if err != nil {
 			restore()
 			return false, nil, false, &ExecError{Rule: r.Name, Cause: err}
@@ -395,9 +477,21 @@ func (e *Engine) Consider(r *rules.Rule) (fired bool, events []ObservableEvent, 
 		return false, nil, false, nil
 	}
 
-	ev := &sqlmini.Evaluator{DB: e.db, Trans: td, Mut: e.mutator()}
-	for _, st := range r.Action {
-		res, err := ev.Exec(st)
+	var execStmt func(j int) (sqlmini.StmtResult, error)
+	if e.prog != nil {
+		env := &compile.Env{DB: e.db, Trans: td, Mut: e.mutator()}
+		ri := r.Index()
+		execStmt = func(j int) (sqlmini.StmtResult, error) {
+			return e.prog.ExecStatement(ri, j, env)
+		}
+	} else {
+		ev := &sqlmini.Evaluator{DB: e.db, Trans: td, Mut: e.mutator()}
+		execStmt = func(j int) (sqlmini.StmtResult, error) {
+			return ev.Exec(r.Action[j])
+		}
+	}
+	for j, st := range r.Action {
+		res, err := execStmt(j)
 		if err != nil {
 			restore()
 			return false, nil, false, &ExecError{Rule: r.Name, Statement: st.String(), Cause: err}
@@ -432,6 +526,9 @@ func (e *Engine) rollback() {
 	}
 	e.assertStart = 0
 	e.inFlight = false
+	if e.cand != nil {
+		e.cand.Reset() // empty log: nothing can be triggered
+	}
 }
 
 // BeginAssert prepares rule processing at an assertion point without
@@ -598,6 +695,9 @@ func (e *Engine) Commit() error {
 	}
 	e.assertStart = 0
 	e.inFlight = false
+	if e.cand != nil {
+		e.cand.Reset()
+	}
 	if err := e.journal("commit", Journal.Commit); err != nil {
 		return err
 	}
@@ -621,8 +721,12 @@ func (e *Engine) Clone() *Engine {
 		snapshot:    e.snapshot, // snapshot is never mutated; safe to share
 		assertStart: e.assertStart,
 		inFlight:    e.inFlight,
+		prog:        e.prog, // immutable, shared
 	}
 	copy(ne.marks, e.marks)
+	if e.cand != nil {
+		ne.cand = e.cand.Clone()
+	}
 	return ne
 }
 

@@ -307,38 +307,14 @@ func (ev *Evaluator) sortMatches(s *Select, matches []*frame) error {
 		}
 	}
 	var sortErr error
+	desc := orderDirections(s.OrderBy)
 	// Indirect stable sort over indices, then permute.
 	idx := make([]int, len(matches))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		for k, o := range s.OrderBy {
-			va, vb := keys[idx[a]][k], keys[idx[b]][k]
-			switch {
-			case va.IsNull() && vb.IsNull():
-				continue
-			case va.IsNull():
-				return o.Desc // nulls last ascending, first descending
-			case vb.IsNull():
-				return !o.Desc
-			}
-			cmp, known := va.Compare(vb)
-			if !known {
-				if sortErr == nil {
-					sortErr = fmt.Errorf("sql: ORDER BY over incomparable values %s and %s", va, vb)
-				}
-				return false
-			}
-			if cmp == 0 {
-				continue
-			}
-			if o.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
+		return OrderLess(keys[idx[a]], keys[idx[b]], desc, &sortErr)
 	})
 	if sortErr != nil {
 		return sortErr
@@ -365,53 +341,16 @@ func (ev *Evaluator) evalAggregate(agg *Aggregate, matches []*frame) (storage.Va
 			vals = append(vals, v)
 		}
 	}
-	switch agg.Func {
-	case "count":
-		return storage.IntV(int64(len(vals))), nil
-	case "sum", "avg":
-		if len(vals) == 0 {
-			return storage.Null, nil
-		}
-		allInt := true
-		var fsum float64
-		var isum int64
-		for _, v := range vals {
-			if !v.IsNumeric() {
-				return storage.Value{}, fmt.Errorf("sql: %s over non-numeric value %s", agg.Func, v)
-			}
-			if v.Kind != storage.KindInt {
-				allInt = false
-			}
-			fsum += v.AsFloat()
-			if v.Kind == storage.KindInt {
-				isum += v.I
-			}
-		}
-		if agg.Func == "avg" {
-			return storage.FloatV(fsum / float64(len(vals))), nil
-		}
-		if allInt {
-			return storage.IntV(isum), nil
-		}
-		return storage.FloatV(fsum), nil
-	case "min", "max":
-		if len(vals) == 0 {
-			return storage.Null, nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			cmp, known := v.Compare(best)
-			if !known {
-				return storage.Value{}, fmt.Errorf("sql: %s over incomparable values %s and %s", agg.Func, v, best)
-			}
-			if agg.Func == "min" && cmp < 0 || agg.Func == "max" && cmp > 0 {
-				best = v
-			}
-		}
-		return best, nil
-	default:
-		return storage.Value{}, fmt.Errorf("sql: unknown aggregate %q", agg.Func)
+	return FoldAggregate(agg.Func, vals)
+}
+
+// orderDirections extracts the per-key descending flags.
+func orderDirections(order []OrderItem) []bool {
+	desc := make([]bool, len(order))
+	for i, o := range order {
+		desc[i] = o.Desc
 	}
+	return desc
 }
 
 func (ev *Evaluator) requireMut() error {
@@ -627,14 +566,7 @@ func (ev *Evaluator) evalExpr(e Expr, env *frame) (storage.Value, error) {
 		if err != nil {
 			return storage.Value{}, err
 		}
-		switch len(rows) {
-		case 0:
-			return storage.Null, nil
-		case 1:
-			return rows[0][0], nil
-		default:
-			return storage.Value{}, fmt.Errorf("sql: scalar subquery returned %d rows", len(rows))
-		}
+		return ScalarResult(rows)
 	case *Aggregate:
 		return storage.Value{}, fmt.Errorf("sql: aggregate %s outside select list", x.Func)
 	default:
@@ -894,33 +826,9 @@ func (ev *Evaluator) evalGroupedSelect(s *Select, matches []*frame) ([][]storage
 
 	if len(s.OrderBy) > 0 {
 		var sortErr error
+		desc := orderDirections(s.OrderBy)
 		sort.SliceStable(rows, func(a, b int) bool {
-			for k, o := range s.OrderBy {
-				va, vb := rows[a].keys[k], rows[b].keys[k]
-				switch {
-				case va.IsNull() && vb.IsNull():
-					continue
-				case va.IsNull():
-					return o.Desc
-				case vb.IsNull():
-					return !o.Desc
-				}
-				cmp, known := va.Compare(vb)
-				if !known {
-					if sortErr == nil {
-						sortErr = fmt.Errorf("sql: ORDER BY over incomparable values %s and %s", va, vb)
-					}
-					return false
-				}
-				if cmp == 0 {
-					continue
-				}
-				if o.Desc {
-					return cmp > 0
-				}
-				return cmp < 0
-			}
-			return false
+			return OrderLess(rows[a].keys, rows[b].keys, desc, &sortErr)
 		})
 		if sortErr != nil {
 			return nil, sortErr

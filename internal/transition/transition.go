@@ -35,6 +35,19 @@ const (
 	entryUpdate
 )
 
+// Kind classifies a primitive log entry for delta-driven triggering:
+// the compiled engine tracks the last log position per (table, kind) so
+// a rule's candidate bit can be cleared exactly when no unconsumed
+// entry of a kind it watches remains on its table.
+type Kind int
+
+// Entry kind classes, aligned with the internal entry kinds.
+const (
+	KindInsert Kind = Kind(entryInsert)
+	KindDelete Kind = Kind(entryDelete)
+	KindUpdate Kind = Kind(entryUpdate)
+)
+
 // Entry is one primitive data modification. For deletes and updates,
 // OldRow captures the full tuple value immediately before the operation,
 // which is what net-effect computation needs to reconstruct the state at
@@ -57,6 +70,12 @@ type Log struct {
 	// letting the engine skip net-effect computation for rules whose
 	// table has not changed since their mark.
 	lastTouch map[string]int
+	// lastKind[t][k] is the index of the most recent entry of kind k on
+	// table t, or -1. A net-effect op of kind k on t can only arise from
+	// a raw entry of kind k on t (see compute: net inserts need an
+	// insert entry, net deletes a delete entry, net updates an update
+	// entry), so LastTouchKind bounds triggering per kind.
+	lastKind map[string][3]int
 }
 
 // LastTouch returns the index of the most recent entry on the table, or
@@ -71,11 +90,31 @@ func (l *Log) LastTouch(table string) int {
 	return -1
 }
 
-func (l *Log) touch(table string) {
+// LastTouchKind returns the index of the most recent entry of the given
+// kind on the table, or -1 if no such entry exists.
+func (l *Log) LastTouchKind(table string, k Kind) int {
+	if l.lastKind == nil {
+		return -1
+	}
+	if ks, ok := l.lastKind[strings.ToLower(table)]; ok {
+		return ks[k]
+	}
+	return -1
+}
+
+func (l *Log) touch(table string, kind entryKind) {
 	if l.lastTouch == nil {
 		l.lastTouch = make(map[string]int)
+		l.lastKind = make(map[string][3]int)
 	}
-	l.lastTouch[table] = len(l.entries)
+	pos := len(l.entries)
+	l.lastTouch[table] = pos
+	ks, ok := l.lastKind[table]
+	if !ok {
+		ks = [3]int{-1, -1, -1}
+	}
+	ks[kind] = pos
+	l.lastKind[table] = ks
 }
 
 // Mark returns the current log position.
@@ -84,7 +123,7 @@ func (l *Log) Mark() int { return len(l.entries) }
 // RecordInsert records insertion of the identified tuple.
 func (l *Log) RecordInsert(table string, id storage.TupleID) {
 	table = strings.ToLower(table)
-	l.touch(table)
+	l.touch(table, entryInsert)
 	l.entries = append(l.entries, Entry{kind: entryInsert, table: table, id: id})
 }
 
@@ -92,7 +131,7 @@ func (l *Log) RecordInsert(table string, id storage.TupleID) {
 // is copied.
 func (l *Log) RecordDelete(table string, id storage.TupleID, old []storage.Value) {
 	table = strings.ToLower(table)
-	l.touch(table)
+	l.touch(table, entryDelete)
 	l.entries = append(l.entries, Entry{
 		kind: entryDelete, table: table, id: id, oldRow: cloneRow(old)})
 }
@@ -101,7 +140,7 @@ func (l *Log) RecordDelete(table string, id storage.TupleID, old []storage.Value
 // before the update and is copied.
 func (l *Log) RecordUpdate(table string, id storage.TupleID, old []storage.Value) {
 	table = strings.ToLower(table)
-	l.touch(table)
+	l.touch(table, entryUpdate)
 	l.entries = append(l.entries, Entry{
 		kind: entryUpdate, table: table, id: id, oldRow: cloneRow(old)})
 }
@@ -110,6 +149,7 @@ func (l *Log) RecordUpdate(table string, id storage.TupleID, old []storage.Value
 func (l *Log) Truncate() {
 	l.entries = l.entries[:0]
 	l.lastTouch = nil
+	l.lastKind = nil
 }
 
 // TruncateTo discards every entry at or after mark, returning the log to
@@ -124,13 +164,21 @@ func (l *Log) TruncateTo(mark int) {
 		l.Truncate()
 		return
 	}
-	l.entries = l.entries[:mark]
-	l.lastTouch = nil
+	entries := l.entries[:mark]
+	l.Truncate()
+	l.entries = entries
 	for i, e := range l.entries {
 		if l.lastTouch == nil {
 			l.lastTouch = make(map[string]int)
+			l.lastKind = make(map[string][3]int)
 		}
 		l.lastTouch[e.table] = i
+		ks, ok := l.lastKind[e.table]
+		if !ok {
+			ks = [3]int{-1, -1, -1}
+		}
+		ks[e.kind] = i
+		l.lastKind[e.table] = ks
 	}
 }
 
@@ -143,6 +191,12 @@ func (l *Log) Clone() *Log {
 		nl.lastTouch = make(map[string]int, len(l.lastTouch))
 		for t, i := range l.lastTouch {
 			nl.lastTouch[t] = i
+		}
+	}
+	if l.lastKind != nil {
+		nl.lastKind = make(map[string][3]int, len(l.lastKind))
+		for t, ks := range l.lastKind {
+			nl.lastKind[t] = ks
 		}
 	}
 	return nl
