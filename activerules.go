@@ -81,6 +81,14 @@ type (
 	Certification = analysis.Certification
 	// TerminationVerdict is the Section 5 result.
 	TerminationVerdict = analysis.TerminationVerdict
+	// TerminationStatus is the three-valued tiered termination outcome.
+	TerminationStatus = analysis.TerminationStatus
+	// SCCVerdict is the tier-2 verdict for one cyclic strong component.
+	SCCVerdict = analysis.SCCVerdict
+	// DischargeStep is one tier-2 discharge certificate.
+	DischargeStep = analysis.DischargeStep
+	// DischargeFailure explains why an SCC could not be discharged.
+	DischargeFailure = analysis.DischargeFailure
 	// ConfluenceVerdict is the Section 6 result.
 	ConfluenceVerdict = analysis.ConfluenceVerdict
 	// PartialConfluenceVerdict is the Section 7 result.
@@ -187,6 +195,17 @@ const (
 	SevWarning = analysis.SevWarning
 	SevError   = analysis.SevError
 )
+
+// Termination statuses, re-exported.
+const (
+	TermUnknown         = analysis.TermUnknown
+	TermAcyclic         = analysis.TermAcyclic
+	TermCycleDischarged = analysis.TermCycleDischarged
+)
+
+// ExplainSCC renders the tier-2 verdict for the cyclic component with
+// the given 1-based ID, or an error message if no such component exists.
+func ExplainSCC(v *TerminationVerdict, id int) string { return analysis.ExplainSCC(v, id) }
 
 // RenderLintText renders lint diagnostics in compiler style; file labels
 // the rules source.

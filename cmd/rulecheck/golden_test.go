@@ -29,6 +29,14 @@ const powerSchema = "../../testdata/powernet/schema.sdl"
 const powerRules = "../../testdata/powernet/rules.srl"
 const lintSchema = "../../testdata/lintdemo/schema.sdl"
 const lintRules = "../../testdata/lintdemo/rules.srl"
+const cdSchema = "../../testdata/countdown/schema.sdl"
+const cdRules = "../../testdata/countdown/rules.srl"
+const drSchema = "../../testdata/drain/schema.sdl"
+const drRules = "../../testdata/drain/rules.srl"
+const cvSchema = "../../testdata/converge/schema.sdl"
+const cvRules = "../../testdata/converge/rules.srl"
+const flSchema = "../../testdata/flipflop/schema.sdl"
+const flRules = "../../testdata/flipflop/rules.srl"
 
 func TestGolden(t *testing.T) {
 	cases := []struct {
@@ -58,6 +66,24 @@ func TestGolden(t *testing.T) {
 		{"lintdemo-lint", []string{"-schema", lintSchema, "-rules", lintRules, "-lint"}, 3},
 		{"lintdemo-lint-json", []string{"-schema", lintSchema, "-rules", lintRules, "-lint", "-json"}, 3},
 		{"bank-lint", []string{"-schema", bankSchema, "-rules", bankRules, "-lint"}, 0},
+		// Tier-2 termination fixtures: three cyclic-but-terminating rule
+		// sets that acyclicity alone rejects but a discharge certificate
+		// accepts (countdown/ranking, drain/delete-only,
+		// converge/convergent-update), plus the undischargeable flipflop
+		// control. countdown and drain exit 1 for confluence, not
+		// termination.
+		{"countdown-report", []string{"-schema", cdSchema, "-rules", cdRules}, 1},
+		{"countdown-json", []string{"-schema", cdSchema, "-rules", cdRules, "-json"}, 1},
+		{"countdown-lint", []string{"-schema", cdSchema, "-rules", cdRules, "-lint"}, 0},
+		{"countdown-why-scc", []string{"-schema", cdSchema, "-rules", cdRules, "-why-scc", "1"}, 0},
+		{"countdown-dot", []string{"-schema", cdSchema, "-rules", cdRules, "-dot"}, 0},
+		{"drain-report", []string{"-schema", drSchema, "-rules", drRules}, 1},
+		{"drain-lint", []string{"-schema", drSchema, "-rules", drRules, "-lint"}, 0},
+		{"converge-report", []string{"-schema", cvSchema, "-rules", cvRules}, 0},
+		{"converge-lint", []string{"-schema", cvSchema, "-rules", cvRules, "-lint"}, 0},
+		{"flipflop-report", []string{"-schema", flSchema, "-rules", flRules}, 1},
+		{"flipflop-lint", []string{"-schema", flSchema, "-rules", flRules, "-lint"}, 0},
+		{"flipflop-why-scc", []string{"-schema", flSchema, "-rules", flRules, "-why-scc", "1"}, 0},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -89,6 +115,27 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestWhySCCBadID checks the out-of-range -why-scc diagnostics: a
+// usage-level failure (exit 2) that names the valid ID range, or the
+// acyclic message when there is no cyclic component at all.
+func TestWhySCCBadID(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-schema", cdSchema, "-rules", cdRules, "-why-scc", "99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if want := "no cyclic component 99: IDs run 1..1"; !bytes.Contains(errb.Bytes(), []byte(want)) {
+		t.Errorf("stderr %q does not contain %q", errb.String(), want)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-schema", bankSchema, "-rules", bankRules, "-why-scc", "1"}, &out, &errb); code != 2 {
+		t.Fatalf("acyclic: exit = %d, want 2", code)
+	}
+	if want := "the analyzed triggering graph is acyclic"; !bytes.Contains(errb.Bytes(), []byte(want)) {
+		t.Errorf("stderr %q does not contain %q", errb.String(), want)
+	}
+}
+
 // TestGoldenStableAcrossParallelism re-renders every golden surface with
 // -parallel 8 and compares against the same golden files: the -parallel
 // flag is a pure performance knob and must never change a byte of
@@ -105,10 +152,17 @@ func TestGoldenStableAcrossParallelism(t *testing.T) {
 		{"-schema", lintSchema, "-rules", lintRules, "-lint", "-json"},
 		{"-schema", bankSchema, "-rules", bankRules, "-shard-plan"},
 		{"-schema", bankSchema, "-rules", bankRules, "-shard-plan", "-json"},
+		{"-schema", cdSchema, "-rules", cdRules},
+		{"-schema", cdSchema, "-rules", cdRules, "-json"},
+		{"-schema", cdSchema, "-rules", cdRules, "-why-scc", "1"},
+		{"-schema", flSchema, "-rules", flRules},
+		{"-schema", flSchema, "-rules", flRules, "-lint"},
 	}
 	goldens := []string{"bank-report", "bank-report-cert", "bank-json", "powernet-report",
 		"lintdemo-refined", "lintdemo-refined-json", "lintdemo-lint", "lintdemo-lint-json",
-		"bank-shard-plan", "bank-shard-plan-json"}
+		"bank-shard-plan", "bank-shard-plan-json",
+		"countdown-report", "countdown-json", "countdown-why-scc",
+		"flipflop-report", "flipflop-lint"}
 	for i, args := range cases {
 		want, err := os.ReadFile(filepath.Join("testdata", goldens[i]+".golden"))
 		if err != nil {

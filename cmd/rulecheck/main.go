@@ -26,6 +26,9 @@
 //	                7: table groups with pairwise-disjoint Sig, plus the
 //	                rules/edges blocking a finer partition) and exit;
 //	                combine with -json for machine-readable output
+//	-why-scc n      explain cyclic component n's tier-2 termination
+//	                verdict (members, stratum, certificate or the failed
+//	                discharge attempts) and exit
 //	-quiet          print only the one-line verdict summary
 //
 // The certification file carries the facts a user has verified in the
@@ -87,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	jsonOut := fs.Bool("json", false, "emit the verdicts as JSON")
 	stats := fs.Bool("stats", false, "include rule-set statistics in the report")
 	why := fs.String("why", "", "explain one pair, e.g. -why r1,r2")
+	whySCC := fs.Int("why-scc", 0, "explain one cyclic component's termination verdict by its 1-based ID")
 	autorepair := fs.Bool("autorepair", false, "print the orderings the automated 6.4 loop would add")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -178,6 +182,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 
+	if *whySCC != 0 {
+		term := sys.Analyze(cert).Termination
+		if *whySCC < 0 || *whySCC > len(term.SCCs) {
+			fmt.Fprint(stderr, "rulecheck: "+activerules.ExplainSCC(term, *whySCC))
+			return 2
+		}
+		fmt.Fprint(stdout, activerules.ExplainSCC(term, *whySCC))
+		return 0
+	}
+
 	if *autorepair {
 		fmt.Fprint(stdout, sys.AutoRepairReport(cert))
 		return 0
@@ -237,13 +251,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // jsonReport is the machine-readable verdict shape emitted by -json.
 type jsonReport struct {
 	Termination struct {
-		Guaranteed           bool       `json:"guaranteed"`
-		CyclicSCCs           [][]string `json:"cyclic_sccs,omitempty"`
-		AutoDischarged       []string   `json:"auto_discharged,omitempty"`
-		UserDischarged       []string   `json:"user_discharged,omitempty"`
-		Refined              bool       `json:"refined,omitempty"`
-		RefinementDischarged []string   `json:"refinement_discharged,omitempty"`
-		PrunedEdges          []jsonEdge `json:"pruned_edges,omitempty"`
+		Guaranteed           bool                     `json:"guaranteed"`
+		Status               string                   `json:"status"`
+		SCCs                 []activerules.SCCVerdict `json:"sccs,omitempty"`
+		CyclicSCCs           [][]string               `json:"cyclic_sccs,omitempty"`
+		AutoDischarged       []string                 `json:"auto_discharged,omitempty"`
+		UserDischarged       []string                 `json:"user_discharged,omitempty"`
+		Refined              bool                     `json:"refined,omitempty"`
+		RefinementDischarged []string                 `json:"refinement_discharged,omitempty"`
+		PrunedEdges          []jsonEdge               `json:"pruned_edges,omitempty"`
 	} `json:"termination"`
 	Confluence struct {
 		Guaranteed   bool            `json:"guaranteed"`
@@ -298,6 +314,8 @@ func toJSONViolations(vs []activerules.Violation) []jsonViolation {
 func writeJSON(w io.Writer, rep *activerules.Report) error {
 	var jr jsonReport
 	jr.Termination.Guaranteed = rep.Termination.Guaranteed
+	jr.Termination.Status = rep.Termination.Status.String()
+	jr.Termination.SCCs = rep.Termination.SCCs
 	for _, comp := range rep.Termination.CyclicSCCs {
 		var names []string
 		for _, r := range comp {

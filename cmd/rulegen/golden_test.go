@@ -28,6 +28,9 @@ func TestGoldenOutput(t *testing.T) {
 		{"acyclic", []string{"-seed", "7", "-acyclic", "-rules", "12", "-tables", "6"}},
 		{"rich", []string{"-seed", "11", "-cond", "0.8", "-priority", "0.5", "-obs", "0.5", "-fanout", "3"}},
 		{"deletes", []string{"-seed", "3", "-update", "0", "-delete", "0.9"}},
+		{"cyclic-countdown", []string{"-seed", "1", "-cyclic-terminating", "countdown"}},
+		{"cyclic-all", []string{"-seed", "7", "-acyclic", "-rules", "6", "-tables", "4",
+			"-cyclic-terminating", "countdown,drain,converge"}},
 	}
 	for _, tc := range cases {
 		tc := tc

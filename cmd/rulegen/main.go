@@ -9,7 +9,11 @@
 //	rulegen ... -split dir   # write dir/schema.sdl and dir/rules.srl
 //
 // Flags mirror the workload generator: -acyclic, -update, -delete,
-// -cond, -priority, -obs, -fanout.
+// -cond, -priority, -obs, -fanout. -cyclic-terminating appends
+// hand-shaped cyclic-but-terminating patterns (comma separated:
+// countdown, drain, converge) that the tier-2 termination analysis
+// discharges with certificates; they live on fresh tables and leave
+// the random part byte-identical.
 package main
 
 import (
@@ -41,14 +45,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	obs := fs.Float64("obs", 0.1, "fraction of observable rules")
 	fanout := fs.Int("fanout", 2, "max statements per action")
 	split := fs.String("split", "", "write schema.sdl and rules.srl into this directory")
+	cyclic := fs.String("cyclic-terminating", "", "append cyclic-but-terminating shapes (comma separated: countdown, drain, converge)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	var shapes []string
+	if *cyclic != "" {
+		for _, s := range strings.Split(*cyclic, ",") {
+			shapes = append(shapes, strings.TrimSpace(s))
+		}
+	}
 	g, err := workload.Generate(workload.Config{
 		Seed: *seed, Rules: *nRules, Tables: *nTables, Acyclic: *acyclic,
 		UpdateFrac: *update, DeleteFrac: *del, ConditionFrac: *cond,
 		PriorityDensity: *prio, ObservableFrac: *obs, WriteFanout: *fanout,
+		CyclicShapes: shapes,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "rulegen:", err)

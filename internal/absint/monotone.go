@@ -1,0 +1,121 @@
+package absint
+
+// Cross-statement monotonicity summaries for the tier-2 termination
+// analysis (DESIGN.md §12). The ranking-function discharge needs to
+// know, for an UPDATE statement, how the written value of a column
+// relates to its OLD value — not just which values it may take (which
+// is what StatementEffects.SetVals answers). SetDelta exposes that
+// relation abstractly: the per-row change as an Abs over the reals,
+// evaluated under the statement's own WHERE scope. The interval
+// accessors below let clients state "strictly negative, bounded away
+// from zero" without reaching into Abs internals.
+
+import (
+	"math"
+
+	"activerules/internal/sqlmini"
+)
+
+// NumOnly reports that the value is definitely a number: the numeric
+// component is nonempty and no other kind (null, string, boolean) is
+// possible. This is the precondition for reading the interval off
+// NumBounds and concluding arithmetic facts about every concrete value.
+func (a Abs) NumOnly() bool {
+	a = a.normalize()
+	return a.mayNum && !a.mayNull && !a.mayStr && !a.mayTrue && !a.mayFalse
+}
+
+// NumBounds returns the numeric interval component [lo, hi] (open ends
+// per the flags). ok is false when no number is possible, in which case
+// the other results are meaningless. Note that unlike NumOnly this says
+// nothing about non-numeric kinds.
+func (a Abs) NumBounds() (lo, hi float64, loOpen, hiOpen, ok bool) {
+	a = a.normalize()
+	if !a.mayNum {
+		return 0, 0, false, false, false
+	}
+	return a.lo, a.hi, a.loOpen, a.hiOpen, true
+}
+
+// BoundedBelow reports that every possible numeric value is >= some
+// finite bound (vacuously true when no number is possible).
+func (a Abs) BoundedBelow() bool {
+	a = a.normalize()
+	return !a.mayNum || !math.IsInf(a.lo, -1)
+}
+
+// BoundedAbove reports that every possible numeric value is <= some
+// finite bound (vacuously true when no number is possible).
+func (a Abs) BoundedAbove() bool {
+	a = a.normalize()
+	return !a.mayNum || !math.IsInf(a.hi, 1)
+}
+
+// SetDelta computes the abstract per-row change an UPDATE applies to
+// col relative to its old value. It matches the self-relative shapes
+//
+//	set col = col + e
+//	set col = e + col
+//	set col = col - e
+//
+// and returns the abstract value of ±e evaluated under the statement's
+// WHERE scope (so `set v = v - step where step >= 1` yields (-inf,-1]).
+// ok is false when col is not assigned, or when some assignment of col
+// is not a self-relative adjustment — in which case nothing monotone
+// can be concluded. When several SET clauses assign col, the deltas are
+// joined (the last assignment wins at runtime; the join covers it).
+//
+// Soundness: for every row the statement successfully updates, the new
+// value of col is old + d for some concrete d described by the result.
+// Non-numeric operands make the addition error (producing no update) or
+// yield null, both of which the result covers; this is the same
+// convention as EvalExpr.
+func SetDelta(up *sqlmini.Update, col string) (Abs, bool) {
+	scope := RowConstraints(up.Where, up.Table)
+	env := Env{up.Table: scope}
+	delta := Bottom()
+	found := false
+	for _, sc := range up.Sets {
+		if sc.Column != col {
+			continue
+		}
+		d, ok := setExprDelta(sc.Expr, up.Table, col, env)
+		if !ok {
+			return Abs{}, false
+		}
+		delta = delta.Join(d)
+		found = true
+	}
+	return delta, found
+}
+
+// setExprDelta matches one SET expression against the self-relative
+// shapes and returns the abstract delta.
+func setExprDelta(e sqlmini.Expr, table, col string, env Env) (Abs, bool) {
+	b, ok := e.(*sqlmini.Binary)
+	if !ok {
+		return Abs{}, false
+	}
+	self := func(x sqlmini.Expr) bool {
+		c, isCol := x.(*sqlmini.ColRef)
+		return isCol && c.RTable == table && c.Column == col
+	}
+	switch b.Op {
+	case sqlmini.OpAdd:
+		if self(b.L) {
+			return EvalExpr(b.R, env), true
+		}
+		if self(b.R) {
+			return EvalExpr(b.L, env), true
+		}
+	case sqlmini.OpSub:
+		if self(b.L) {
+			// new = old - e, so the delta is -e. A non-numeric operand
+			// errors out of the update (no value produced), so dropping
+			// the string/bool components of e is sound — the same
+			// convention EvalExpr uses for UnaryNeg.
+			return EvalExpr(&sqlmini.Unary{Op: sqlmini.UnaryNeg, X: b.R}, env), true
+		}
+	}
+	return Abs{}, false
+}

@@ -1,0 +1,103 @@
+package absint
+
+import (
+	"math"
+	"testing"
+
+	"activerules/internal/sqlmini"
+)
+
+func updateStmt(t *testing.T, src string) *sqlmini.Update {
+	t.Helper()
+	st := parseStmt(t, testSchema(t), src)
+	up, ok := st.(*sqlmini.Update)
+	if !ok {
+		t.Fatalf("%q is not an update", src)
+	}
+	return up
+}
+
+func TestSetDeltaLiteralStep(t *testing.T) {
+	cases := []struct {
+		src    string
+		lo, hi float64
+	}{
+		{"update t set v = v - 1 where v > 0", -1, -1},
+		{"update t set v = v + 2 where v < 10", 2, 2},
+		{"update t set v = 3 + v where v < 10", 3, 3},
+	}
+	for _, tc := range cases {
+		d, ok := SetDelta(updateStmt(t, tc.src), "v")
+		if !ok {
+			t.Fatalf("%s: no delta", tc.src)
+		}
+		if !d.NumOnly() {
+			t.Fatalf("%s: delta %s not numeric-only", tc.src, d)
+		}
+		lo, hi, _, _, _ := d.NumBounds()
+		if lo != tc.lo || hi != tc.hi {
+			t.Fatalf("%s: delta [%g,%g], want [%g,%g]", tc.src, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+// A column-valued step is bounded by the statement's own WHERE scope:
+// `v - step where step >= 1` is a delta in (-inf, -1].
+func TestSetDeltaColumnStepUsesScope(t *testing.T) {
+	up := updateStmt(t, "update t set v = v - id where v > 0 and id >= 1")
+	d, ok := SetDelta(up, "v")
+	if !ok {
+		t.Fatal("no delta")
+	}
+	if !d.NumOnly() {
+		t.Fatalf("delta %s not numeric-only", d)
+	}
+	lo, hi, _, hiOpen, _ := d.NumBounds()
+	if !math.IsInf(lo, -1) || hi != -1 || hiOpen {
+		t.Fatalf("delta = %s, want (-inf,-1]", d)
+	}
+}
+
+// Without a scope constraint on the step column the delta may approach
+// zero, so its upper bound is 0 — the ranking certificate must reject
+// it, and NumOnly must reject a possibly-null step.
+func TestSetDeltaUnconstrainedStep(t *testing.T) {
+	up := updateStmt(t, "update t set v = v - id where v > 0")
+	d, ok := SetDelta(up, "v")
+	if !ok {
+		t.Fatal("no delta")
+	}
+	if d.NumOnly() {
+		t.Fatalf("delta %s should not be numeric-only (id may be null)", d)
+	}
+}
+
+// Absolute writes and non-self-relative shapes yield no delta.
+func TestSetDeltaRejectsNonRelative(t *testing.T) {
+	for _, src := range []string{
+		"update t set v = 5 where v > 0",
+		"update t set v = id + 1 where v > 0",
+		"update t set v = 1 - v where v > 0",
+		"update t set s = 'x' where v > 0",
+	} {
+		if _, ok := SetDelta(updateStmt(t, src), "v"); ok {
+			t.Fatalf("%s: unexpected delta", src)
+		}
+	}
+}
+
+func TestNumBoundsAndSidedness(t *testing.T) {
+	a := NumRange(0, math.Inf(1), true, false)
+	if !a.BoundedBelow() || a.BoundedAbove() {
+		t.Fatalf("(0,inf): BoundedBelow=%v BoundedAbove=%v", a.BoundedBelow(), a.BoundedAbove())
+	}
+	if !a.NumOnly() {
+		t.Fatalf("(0,inf) should be numeric-only")
+	}
+	if Top().NumOnly() {
+		t.Fatal("Top is not numeric-only")
+	}
+	if _, _, _, _, ok := NullOnly().NumBounds(); ok {
+		t.Fatal("null has no numeric bounds")
+	}
+}

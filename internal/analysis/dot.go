@@ -9,18 +9,25 @@ import (
 
 // WriteDOT renders the triggering graph in Graphviz DOT format for the
 // interactive environment: nodes are rules (observable rules get a
-// double outline), solid edges are the Triggers relation, and rules on
-// cycles that survive discharges are highlighted. Dashed gray edges show
-// the direct priority orderings. Edges pruned by condition-aware
-// refinement (verdict.PrunedEdges) render dotted gray with a "pruned"
-// label.
+// double outline), solid edges are the Triggers relation, rules on
+// cycles that survive discharges are highlighted red, and members of
+// cyclic components that tier 2 discharged render dark green with
+// their certificate kind. Dashed gray edges show the direct priority
+// orderings. Edges pruned by condition-aware refinement
+// (verdict.PrunedEdges) render dotted gray with a "pruned" label.
 func (g *TriggeringGraph) WriteDOT(w io.Writer, verdict *TerminationVerdict) error {
 	cyclic := map[string]bool{}
+	certKind := map[string]string{}
 	pruned := map[[2]string]bool{}
 	if verdict != nil {
 		for _, comp := range verdict.CyclicSCCs {
 			for _, r := range comp {
 				cyclic[r.Name] = true
+			}
+		}
+		for _, sv := range verdict.SCCs {
+			for _, step := range sv.Certificate {
+				certKind[step.Rule] = step.Kind
 			}
 		}
 		for _, pe := range verdict.PrunedEdges {
@@ -34,15 +41,20 @@ func (g *TriggeringGraph) WriteDOT(w io.Writer, verdict *TerminationVerdict) err
 	fmt.Fprintln(w, `  node [shape=box, fontname="monospace"];`)
 	for _, r := range g.set.Rules() {
 		attrs := ""
-		if cyclic[r.Name] {
+		extra := ""
+		switch {
+		case cyclic[r.Name]:
 			attrs += `, color=red, fontcolor=red`
+		case certKind[r.Name] != "":
+			attrs += `, color=darkgreen, fontcolor=darkgreen`
+			extra = `\n[` + certKind[r.Name] + `]`
 		}
 		if r.Observable() {
 			attrs += `, peripheries=2`
 		}
 		// Rule names are lowercase identifiers; emit the label directly
 		// so the DOT line-break escape \n survives.
-		fmt.Fprintf(w, "  %q [label=\"%s\\non %s\"%s];\n", r.Name, r.Name, r.Table, attrs)
+		fmt.Fprintf(w, "  %q [label=\"%s\\non %s%s\"%s];\n", r.Name, r.Name, r.Table, extra, attrs)
 	}
 	for _, ri := range g.set.Rules() {
 		for _, rj := range g.Successors(ri) {
@@ -52,6 +64,8 @@ func (g *TriggeringGraph) WriteDOT(w io.Writer, verdict *TerminationVerdict) err
 				style = ` [style=dotted, color=gray, label="pruned"]`
 			case cyclic[ri.Name] && cyclic[rj.Name]:
 				style = ` [color=red]`
+			case certKind[ri.Name] != "" && certKind[rj.Name] != "":
+				style = ` [color=darkgreen]`
 			}
 			fmt.Fprintf(w, "  %q -> %q%s;\n", ri.Name, rj.Name, style)
 		}

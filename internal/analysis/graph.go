@@ -142,6 +142,71 @@ func (g *TriggeringGraph) CyclicSCCs(members []*rules.Rule, exclude func(*rules.
 	return out
 }
 
+// Strata assigns every rule of the restricted graph (members minus
+// excluded rules, as in CyclicSCCs) the topological layer of its SCC in
+// the condensation: source components are stratum 1, and each
+// component's stratum is one more than the deepest predecessor
+// component — the chase-style stratification order of the tier-2
+// termination analysis. The result maps rule index to stratum, 0 for
+// rules outside the restriction.
+func (g *TriggeringGraph) Strata(members []*rules.Rule, exclude func(*rules.Rule) bool) []int {
+	n := g.set.Len()
+	in := make([]bool, n)
+	if members == nil {
+		for i := range in {
+			in[i] = true
+		}
+	} else {
+		for _, r := range members {
+			in[r.Index()] = true
+		}
+	}
+	if exclude != nil {
+		for _, r := range g.set.Rules() {
+			if in[r.Index()] && exclude(r) {
+				in[r.Index()] = false
+			}
+		}
+	}
+	sccs := g.tarjan(in)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for ci, c := range sccs {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	// tarjan emits components in reverse topological order (a component
+	// is complete only after every component it reaches), so walking the
+	// emission order backwards visits sources first and each component's
+	// stratum is final before its successors are relaxed.
+	stratum := make([]int, len(sccs))
+	for i := len(sccs) - 1; i >= 0; i-- {
+		if stratum[i] == 0 {
+			stratum[i] = 1
+		}
+		for _, v := range sccs[i] {
+			for _, w := range g.adj[v] {
+				if !in[w] || comp[w] == i {
+					continue
+				}
+				if stratum[i]+1 > stratum[comp[w]] {
+					stratum[comp[w]] = stratum[i] + 1
+				}
+			}
+		}
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			out[i] = stratum[comp[i]]
+		}
+	}
+	return out
+}
+
 // tarjan computes strongly connected components over the nodes with
 // in[i] == true, iteratively (no recursion, so very large rule sets are
 // fine). Each component is a sorted slice of rule indices.

@@ -18,6 +18,11 @@ package analysis
 //	               rule and triggering no rule
 //	RL005 info     infeasible cycle: a triggering cycle that refinement
 //	               proves can never sustain itself
+//	RL006 info     discharged cycle: a triggering cycle certified
+//	               terminating by a tier-2 argument (ranking,
+//	               delete-only, convergent-update)
+//	RL007 warning  undischargeable cycle: no tier-2 certificate applies;
+//	               the hint names the closest failing discharge rule
 
 import (
 	"encoding/json"
@@ -100,6 +105,7 @@ func (a *Analyzer) Lint() *LintResult {
 	lr.add(ra.lintShadowedPriorities()...)
 	lr.add(ra.lintDeadStores()...)
 	lr.add(ra.lintInfeasibleCycles()...)
+	lr.add(ra.lintCycleDischarges()...)
 	sort.SliceStable(lr.Diagnostics, func(i, j int) bool {
 		di, dj := lr.Diagnostics[i], lr.Diagnostics[j]
 		if di.Line != dj.Line {
@@ -298,6 +304,71 @@ func (a *Analyzer) lintInfeasibleCycles() []Diagnostic {
 			Message: fmt.Sprintf("triggering cycle through {%s} is infeasible: condition-aware pruning breaks it", strings.Join(names, ", ")),
 			Hint:    "no action needed; run rulecheck -refine to apply the pruning to termination analysis",
 			Notes:   notes,
+		}))
+	}
+	return out
+}
+
+// lintCycleDischarges emits RL006 for cyclic components the tier-2
+// termination analysis discharged (info: the cycle is real but provably
+// terminating, with the certificate in the notes) and RL007 for cyclic
+// components no discharge rule could certify (warning, with the closest
+// failing attempt per certificate kind and a fix-it hint).
+func (a *Analyzer) lintCycleDischarges() []Diagnostic {
+	v := a.terminationOf(nil)
+	anchorOf := func(names []string) *rules.Rule {
+		var anchor *rules.Rule
+		for _, n := range names {
+			r := a.set.Rule(n)
+			if r != nil && (anchor == nil || r.Index() < anchor.Index()) {
+				anchor = r
+			}
+		}
+		return anchor
+	}
+	stepDesc := func(step DischargeStep) string {
+		s := step.Kind
+		if step.Column != "" {
+			s += " on " + step.Column
+		}
+		if step.Direction != "" {
+			s += " (" + step.Direction + ")"
+		}
+		return s
+	}
+	var out []Diagnostic
+	for _, sv := range v.SCCs {
+		if sv.Discharged {
+			descs := make([]string, len(sv.Certificate))
+			notes := make([]string, len(sv.Certificate))
+			for i, step := range sv.Certificate {
+				descs[i] = stepDesc(step)
+				notes[i] = fmt.Sprintf("rule %s: %s", step.Rule, step.Why)
+			}
+			out = append(out, at(anchorOf(sv.Members), Diagnostic{
+				Code: "RL006", Severity: SevInfo,
+				Message: fmt.Sprintf("triggering cycle through {%s} provably terminates: discharged by %s",
+					strings.Join(sv.Members, ", "), strings.Join(descs, "; ")),
+				Hint:  "no action needed; the certificate is re-checked on every analysis",
+				Notes: notes,
+			}))
+			continue
+		}
+		notes := make([]string, len(sv.Failures))
+		for i, f := range sv.Failures {
+			notes[i] = fmt.Sprintf("%s (%s): %s", f.Kind, f.Rule, f.Why)
+		}
+		hint := "guard the cycle so a discharge rule applies (e.g. a strictly decreasing bounded counter), or certify a rule manually"
+		if len(sv.Failures) > 0 {
+			f := sv.Failures[0]
+			hint = fmt.Sprintf("closest attempt was the %s certificate on rule %s — add a guard so it applies, or certify a rule manually", f.Kind, f.Rule)
+		}
+		out = append(out, at(anchorOf(sv.Residual), Diagnostic{
+			Code: "RL007", Severity: SevWarning,
+			Message: fmt.Sprintf("triggering cycle through {%s} cannot be discharged: no termination certificate applies",
+				strings.Join(sv.Residual, ", ")),
+			Hint:  hint,
+			Notes: notes,
 		}))
 	}
 	return out

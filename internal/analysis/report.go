@@ -9,20 +9,23 @@ import (
 
 // ReportTermination renders a termination verdict for the interactive
 // environment (Section 5: notify the user of all cycles / strong
-// components).
+// components, here with the tier-2 per-component verdicts).
 func ReportTermination(v *TerminationVerdict) string {
 	var sb strings.Builder
-	if v.Guaranteed {
+	switch v.Status {
+	case TermAcyclic:
 		sb.WriteString("TERMINATION: guaranteed (triggering graph is acyclic")
-		if len(v.AutoDischarged) > 0 || len(v.UserDischarged) > 0 {
+		if len(v.UserDischarged) > 0 || len(v.RefinementDischarged) > 0 {
 			sb.WriteString(" after discharges")
 		}
 		sb.WriteString(")\n")
-	} else {
+	case TermCycleDischarged:
+		sb.WriteString("TERMINATION: guaranteed (every cyclic component discharged)\n")
+	default:
 		sb.WriteString("TERMINATION: may not terminate\n")
 	}
 	if len(v.AutoDischarged) > 0 {
-		sb.WriteString("  auto-discharged (delete-only special case): " +
+		sb.WriteString("  auto-discharged (tier-2 certificates): " +
 			strings.Join(v.AutoDischarged, ", ") + "\n")
 	}
 	if len(v.UserDischarged) > 0 {
@@ -43,17 +46,75 @@ func ReportTermination(v *TerminationVerdict) string {
 			sb.WriteString("  pruned edge: " + pe.From + " -> " + pe.To + " — " + pe.Why + "\n")
 		}
 	}
-	for i, comp := range v.CyclicSCCs {
-		sb.WriteString(fmt.Sprintf("  cyclic component %d: {%s}\n", i+1, strings.Join(rules.Names(comp), ", ")))
-		if i < len(v.SampleCycles) {
-			names := rules.Names(v.SampleCycles[i])
-			sb.WriteString("    sample cycle: " + strings.Join(names, " -> ") + " -> " + names[0] + "\n")
-		}
-		sb.WriteString("    to guarantee termination, verify for some rule r on every cycle that\n")
-		sb.WriteString("    repeated consideration makes r's condition false or its action a no-op,\n")
-		sb.WriteString("    then discharge r.\n")
+	for i := range v.SCCs {
+		renderSCC(&sb, v, &v.SCCs[i], "  ")
 	}
 	return sb.String()
+}
+
+// renderSCC writes one cyclic component's tier-2 verdict, indented by
+// pad; shared by ReportTermination and ExplainSCC.
+func renderSCC(sb *strings.Builder, v *TerminationVerdict, sv *SCCVerdict, pad string) {
+	status := "discharged"
+	if !sv.Discharged {
+		status = "NOT discharged"
+	}
+	fmt.Fprintf(sb, "%scyclic component %d [stratum %d] {%s}: %s\n",
+		pad, sv.ID, sv.Stratum, strings.Join(sv.Members, ", "), status)
+	if len(sv.Certificate) > 0 {
+		sb.WriteString(pad + "  certificate:\n")
+		for _, step := range sv.Certificate {
+			fmt.Fprintf(sb, "%s    %s [%s]: %s\n", pad, step.Rule, step.Kind, step.Why)
+		}
+	}
+	if sv.Discharged {
+		return
+	}
+	fmt.Fprintf(sb, "%s  residual: {%s}\n", pad, strings.Join(sv.Residual, ", "))
+	for _, cyc := range sccSampleCycles(v, sv) {
+		names := rules.Names(cyc)
+		sb.WriteString(pad + "  sample cycle: " + strings.Join(names, " -> ") + " -> " + names[0] + "\n")
+	}
+	for _, fail := range sv.Failures {
+		fmt.Fprintf(sb, "%s  %s fails (%s): %s\n", pad, fail.Kind, fail.Rule, fail.Why)
+	}
+	sb.WriteString(pad + "  to guarantee termination, add a guard so one of the discharge rules\n")
+	sb.WriteString(pad + "  applies, or verify for some rule r on every cycle that repeated\n")
+	sb.WriteString(pad + "  consideration makes r's action a no-op, then discharge r.\n")
+}
+
+// sccSampleCycles returns the sample cycles whose residual component
+// lies inside the given initial SCC.
+func sccSampleCycles(v *TerminationVerdict, sv *SCCVerdict) [][]*rules.Rule {
+	member := map[string]bool{}
+	for _, m := range sv.Members {
+		member[m] = true
+	}
+	var out [][]*rules.Rule
+	for i, comp := range v.CyclicSCCs {
+		if i < len(v.SampleCycles) && member[comp[0].Name] {
+			out = append(out, v.SampleCycles[i])
+		}
+	}
+	return out
+}
+
+// ExplainSCC renders the tier-2 verdict of the cyclic component with
+// the given 1-based ID in detail, for `rulecheck -why-scc`. Returns an
+// explanatory message when the ID does not exist.
+func ExplainSCC(v *TerminationVerdict, id int) string {
+	for i := range v.SCCs {
+		if v.SCCs[i].ID != id {
+			continue
+		}
+		var sb strings.Builder
+		renderSCC(&sb, v, &v.SCCs[i], "")
+		return sb.String()
+	}
+	if len(v.SCCs) == 0 {
+		return fmt.Sprintf("no cyclic component %d: the analyzed triggering graph is acyclic\n", id)
+	}
+	return fmt.Sprintf("no cyclic component %d: IDs run 1..%d\n", id, len(v.SCCs))
 }
 
 // ReportConfluence renders a confluence verdict with the remediation

@@ -1,16 +1,30 @@
 package analysis
 
 import (
+	"sort"
+
 	"activerules/internal/rules"
-	"activerules/internal/schema"
 )
 
-// TerminationVerdict is the outcome of the Section 5 analysis.
+// TerminationVerdict is the outcome of the Section 5 analysis plus the
+// tier-2 chase-style discharge engine (tier2.go, DESIGN.md §12).
 type TerminationVerdict struct {
 	// Guaranteed reports that rule processing terminates for every
 	// initial database state and user transition (Theorem 5.1, after
-	// removing discharged rules from the triggering graph).
+	// removing discharged rules from the triggering graph). Equivalent
+	// to Status != TermUnknown; kept for existing consumers.
 	Guaranteed bool
+
+	// Status is the three-valued tiered verdict: acyclic (Theorem 5.1
+	// directly), cycle-discharged (cyclic SCCs existed, all certified),
+	// or unknown.
+	Status TerminationStatus
+
+	// SCCs holds the tier-2 verdict for every cyclic strong component
+	// of the analyzed graph, in deterministic component order, with
+	// stable 1-based IDs, condensation strata, and per-component
+	// certificates or failure explanations.
+	SCCs []SCCVerdict
 
 	// CyclicSCCs are the strong components that still sustain cycles
 	// after discharges; these are what the user must inspect (Section 5:
@@ -21,10 +35,10 @@ type TerminationVerdict struct {
 	// for readable reports.
 	SampleCycles [][]*rules.Rule
 
-	// AutoDischarged lists rules discharged automatically by the
-	// delete-only special case of Section 5 (a rule whose action only
-	// deletes from tables that no rule in its component inserts into:
-	// repeated consideration eventually has no effect).
+	// AutoDischarged lists rules discharged automatically by the tier-2
+	// certificates (ranking, delete-only, convergent-update), in the
+	// order the discharges were established. The certificates live on
+	// SCCs.
 	AutoDischarged []string
 
 	// UserDischarged lists the user-certified discharges that were
@@ -87,9 +101,11 @@ func (a *Analyzer) terminationOf(subset []*rules.Rule) *TerminationVerdict {
 		v.PrunedEdges = a.ref.sortedPrunedEdges()
 	}
 
-	// Discharge pass: user discharges apply unconditionally; the
-	// delete-only heuristic needs the component structure, so iterate:
-	// recompute components, discharge, repeat until stable.
+	// Discharge pass. User discharges and refinement-dead rules apply
+	// unconditionally; the tier-2 certificates need the component
+	// structure and the set of already-discharged rules (interference
+	// checks skip them), so iterate: recompute components, attempt
+	// discharges, repeat until stable (tier2.go, DESIGN.md §12).
 	discharged := map[string]bool{}
 	for _, r := range a.set.Rules() {
 		if a.cert.Discharged(r.Name) {
@@ -100,71 +116,87 @@ func (a *Analyzer) terminationOf(subset []*rules.Rule) *TerminationVerdict {
 	for _, d := range v.RefinementDischarged {
 		discharged[d.Rule] = true
 	}
+	excl := func(r *rules.Rule) bool { return discharged[r.Name] }
+
+	// The cyclic SCCs of the pruned graph after the unconditional
+	// discharges are the components tier 2 must certify; their IDs,
+	// membership, and condensation strata are fixed here, before any
+	// automatic discharge, so reports stay stable however the discharge
+	// loop proceeds.
+	initial := g.CyclicSCCs(subset, excl)
+	strata := g.Strata(subset, excl)
+	sccID := map[string]int{}
+	v.SCCs = make([]SCCVerdict, len(initial))
+	for i, comp := range initial {
+		v.SCCs[i] = SCCVerdict{ID: i + 1, Stratum: strata[comp[0].Index()], Members: rules.Names(comp)}
+		for _, r := range comp {
+			sccID[r.Name] = i + 1
+		}
+	}
+
+	eng := newTier2(a, subset, discharged)
+	attempts := map[string]map[string]attemptFail{}
 	for {
-		sccs := g.CyclicSCCs(subset, func(r *rules.Rule) bool { return discharged[r.Name] })
-		newly := a.autoDischargeDeleteOnly(sccs, discharged)
-		newly = append(newly, a.autoDischargeMonotonic(sccs, discharged)...)
-		if len(newly) == 0 {
+		sccs := g.CyclicSCCs(subset, excl)
+		var steps []DischargeStep
+		for _, comp := range sccs {
+			for _, r := range comp {
+				if step, fails, ok := eng.tryDischarge(r); ok {
+					steps = append(steps, step)
+				} else {
+					attempts[r.Name] = fails
+				}
+			}
+		}
+		if len(steps) == 0 {
 			v.CyclicSCCs = sccs
 			break
 		}
-		for _, name := range newly {
-			if discharged[name] {
+		for _, step := range steps {
+			if discharged[step.Rule] {
 				continue
 			}
-			discharged[name] = true
-			v.AutoDischarged = append(v.AutoDischarged, name)
+			discharged[step.Rule] = true
+			v.AutoDischarged = append(v.AutoDischarged, step.Rule)
+			if id := sccID[step.Rule]; id > 0 {
+				v.SCCs[id-1].Certificate = append(v.SCCs[id-1].Certificate, step)
+			}
 		}
 	}
+
+	// Map the residual cyclic components back to their initial SCCs
+	// (removing rules only ever splits components, so every residual
+	// member belongs to exactly one initial SCC).
+	residual := map[int][]string{}
+	for _, comp := range v.CyclicSCCs {
+		for _, r := range comp {
+			id := sccID[r.Name]
+			residual[id] = append(residual[id], r.Name)
+		}
+	}
+	for i := range v.SCCs {
+		res := residual[v.SCCs[i].ID]
+		sort.Strings(res)
+		v.SCCs[i].Residual = res
+		v.SCCs[i].Discharged = len(res) == 0
+		if len(res) > 0 {
+			v.SCCs[i].Failures = bestFailures(attempts, res)
+		}
+	}
+
 	for _, comp := range v.CyclicSCCs {
 		if cyc := g.FindCycle(comp); cyc != nil {
 			v.SampleCycles = append(v.SampleCycles, cyc)
 		}
 	}
-	v.Guaranteed = len(v.CyclicSCCs) == 0
-	return v
-}
-
-// autoDischargeDeleteOnly implements the first special case of Section 5:
-// if the action of some rule r on a cycle only deletes from tables, and
-// no other rule on the cycle inserts into those tables, then r's action
-// eventually has no effect, so r cannot sustain the cycle. Returns the
-// names of newly dischargeable rules.
-func (a *Analyzer) autoDischargeDeleteOnly(sccs [][]*rules.Rule, already map[string]bool) []string {
-	var out []string
-	for _, comp := range sccs {
-		// Tables inserted into by ANY rule of the component.
-		inserted := map[string]bool{}
-		for _, r := range comp {
-			for op := range a.view.performs(r) {
-				if op.Kind == schema.OpInsert {
-					inserted[op.Table] = true
-				}
-			}
-		}
-		for _, r := range comp {
-			if already[r.Name] {
-				continue
-			}
-			deleteOnly := true
-			refilled := false
-			perf := a.view.performs(r)
-			if perf.Len() == 0 {
-				deleteOnly = false // an op-free rule cannot shrink anything
-			}
-			for op := range perf {
-				if op.Kind != schema.OpDelete {
-					deleteOnly = false
-					break
-				}
-				if inserted[op.Table] {
-					refilled = true
-				}
-			}
-			if deleteOnly && !refilled {
-				out = append(out, r.Name)
-			}
-		}
+	switch {
+	case len(v.CyclicSCCs) > 0:
+		v.Status = TermUnknown
+	case len(initial) > 0:
+		v.Status = TermCycleDischarged
+	default:
+		v.Status = TermAcyclic
 	}
-	return out
+	v.Guaranteed = v.Status != TermUnknown
+	return v
 }

@@ -157,10 +157,14 @@ create rule bump on t when updated(v) then update t set v = v + 1 where v < 10
 create rule reset on u when inserted then update t set v = 0
 `, nil)
 	v5 := a5.Termination()
-	// reset is not in bump's component (nothing triggers reset from t),
-	// so bump's discharge is still valid here; force them into one
-	// component via a trigger edge.
-	_ = v5
+	// reset is not even in bump's component (nothing triggers it), but
+	// the tier-2 interference check is deliberately global: any
+	// undischarged rule that can rewind the ranked column blocks the
+	// certificate, reachable or not (conservative, but safe — see the
+	// downstream-replenisher tests for why SCC-local checks are wrong).
+	if v5.Guaranteed {
+		t.Error("an out-of-component resetter must block the ranking discharge")
+	}
 	a6 := compile(t, "table t (v int)\ntable u (x int)", `
 create rule bump on t when updated(v) then update t set v = v + 1 where v < 10; insert into u values (1)
 create rule reset on u when inserted then update t set v = 0

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- ranking ---------------------------------------------------------
+
+func TestDischargeRankingCountdown(t *testing.T) {
+	// The step is a column, so the seed's literal-step heuristic has no
+	// purchase; the delta is derived from the statement's own scope
+	// (step >= 1 makes it (-inf,-1], bounded away from zero).
+	a := compile(t, "table cd (id int, v int, step int)", `
+create rule tick on cd when updated(v) then update cd set v = v - step where v > 0 and step >= 1
+`, nil)
+	v := a.Termination()
+	if v.Status != TermCycleDischarged || !v.Guaranteed {
+		t.Fatalf("status = %s, want cycle-discharged: %+v", v.Status, v.SCCs)
+	}
+	if len(v.SCCs) != 1 || !v.SCCs[0].Discharged || len(v.SCCs[0].Certificate) != 1 {
+		t.Fatalf("SCCs = %+v", v.SCCs)
+	}
+	step := v.SCCs[0].Certificate[0]
+	if step.Kind != "ranking" || step.Column != "cd.v" || step.Direction != "decreasing" {
+		t.Errorf("certificate = %+v", step)
+	}
+	if v.AutoDischarged[0] != "tick" {
+		t.Errorf("AutoDischarged = %v", v.AutoDischarged)
+	}
+}
+
+func TestDischargeRankingIncreasing(t *testing.T) {
+	a := compile(t, "table t (v int)", `
+create rule climb on t when updated(v) then update t set v = v + 2 where v < 100
+`, nil)
+	v := a.Termination()
+	if v.Status != TermCycleDischarged {
+		t.Fatalf("status = %s: %+v", v.Status, v.SCCs)
+	}
+	step := v.SCCs[0].Certificate[0]
+	if step.Kind != "ranking" || step.Direction != "increasing" {
+		t.Errorf("certificate = %+v", step)
+	}
+	if !strings.Contains(step.Why, "upper bound 100") {
+		t.Errorf("why = %q", step.Why)
+	}
+}
+
+func TestDischargeRankingRejectsVanishingStep(t *testing.T) {
+	// step > 0 admits steps arbitrarily close to zero: the measure can
+	// shrink geometrically without ever reaching the bound, so the
+	// certificate must not fire.
+	a := compile(t, "table cd (id int, v int, step int)", `
+create rule tick on cd when updated(v) then update cd set v = v - step where v > 0 and step > 0
+`, nil)
+	v := a.Termination()
+	if v.Guaranteed {
+		t.Fatalf("vanishing step must not be discharged: %+v", v.SCCs)
+	}
+	found := false
+	for _, f := range v.SCCs[0].Failures {
+		if f.Kind == "ranking" && strings.Contains(f.Why, "bounded away from zero") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ranking failure should cite the vanishing step: %+v", v.SCCs[0].Failures)
+	}
+}
+
+// A rule downstream of the SCC — triggered by it, with no edge back —
+// can replenish the ranked table forever: bump fires, echo inserts a
+// fresh row at 0, and the supply of rows below the bound never dries
+// up. SCC-local interference checks miss this; the global check must
+// block the discharge.
+func TestDischargeBlockedByDownstreamReplenisherRanking(t *testing.T) {
+	a := compile(t, "table t (v int)", `
+create rule bump on t when updated(v) then update t set v = v + 1 where v < 10
+create rule echo on t when updated(v) then insert into t values (0)
+`, nil)
+	v := a.Termination()
+	if v.Guaranteed {
+		t.Fatal("downstream replenisher must block the ranking discharge")
+	}
+	found := false
+	for _, f := range v.SCCs[0].Failures {
+		if f.Kind == "ranking" && strings.Contains(f.Why, "echo") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ranking failure should name echo: %+v", v.SCCs[0].Failures)
+	}
+}
+
+// --- delete-only -----------------------------------------------------
+
+func TestDischargeDeleteOnlyRefillOutsideScope(t *testing.T) {
+	// drain deletes in-scope rows (v >= 0) and triggers refill, which
+	// re-inserts — but provably outside the scope (v = -5), so the
+	// supply of deletable rows still only shrinks.
+	a := compile(t, "table pool (id int, v int)", `
+create rule drain on pool when deleted then delete from pool where v >= 0
+create rule refill on pool when deleted then insert into pool values (9, -5)
+`, nil)
+	v := a.Termination()
+	if v.Status != TermCycleDischarged {
+		t.Fatalf("status = %s: %+v", v.Status, v.SCCs)
+	}
+	var kinds []string
+	for _, sv := range v.SCCs {
+		for _, step := range sv.Certificate {
+			kinds = append(kinds, step.Rule+":"+step.Kind)
+		}
+	}
+	if len(kinds) == 0 || !strings.Contains(strings.Join(kinds, " "), "drain:delete-only") {
+		t.Errorf("certificates = %v", kinds)
+	}
+}
+
+func TestDischargeBlockedByDownstreamReplenisherDeleteOnly(t *testing.T) {
+	// Same shape, but the refill lands inside the delete scope: the
+	// deleted rows come back and the cycle can spin forever.
+	a := compile(t, "table pool (id int, v int)", `
+create rule drain on pool when deleted then delete from pool where v >= 0
+create rule refill on pool when deleted then insert into pool values (9, 5)
+`, nil)
+	v := a.Termination()
+	if v.Guaranteed {
+		t.Fatal("in-scope refill must block the delete-only discharge")
+	}
+	found := false
+	for _, sv := range v.SCCs {
+		for _, f := range sv.Failures {
+			if f.Kind == "delete-only" && strings.Contains(f.Why, "refill") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("delete-only failure should name refill: %+v", v.SCCs)
+	}
+}
+
+func TestDischargeDeleteOnlyRescueJoinBlocks(t *testing.T) {
+	// The refill is out of scope, but an undischarged update can move
+	// the inserted row INTO the scope (the rescue join): v = -5 is
+	// excluded on its own, yet rescue rewrites v to 5.
+	a := compile(t, "table pool (id int, v int)\ntable sig (x int)", `
+create rule drain on pool when deleted then delete from pool where v >= 0
+create rule refill on pool when deleted then insert into pool values (9, -5); insert into sig values (1)
+create rule rescue on sig when inserted then update pool set v = 5 where v < 0
+`, nil)
+	v := a.Termination()
+	if v.Guaranteed {
+		t.Fatalf("rescued refill must block the delete-only discharge: %+v", v.SCCs)
+	}
+}
+
+// --- convergent-update -----------------------------------------------
+
+func TestDischargeConvergentUpdate(t *testing.T) {
+	a := compile(t, "table t (id int, v int)", `
+create rule settle on t when updated(v) then update t set v = 1 where v = 0
+`, nil)
+	v := a.Termination()
+	if v.Status != TermCycleDischarged {
+		t.Fatalf("status = %s: %+v", v.Status, v.SCCs)
+	}
+	step := v.SCCs[0].Certificate[0]
+	if step.Kind != "convergent-update" || step.Column != "t.v" {
+		t.Errorf("certificate = %+v", step)
+	}
+}
+
+func TestDischargeConvergentPingPongBlocked(t *testing.T) {
+	// Each rule is convergent in isolation, but they write each other's
+	// scope: the pair can flip a row forever. Both must stay blocked —
+	// and the discharge loop must not certify one by assuming the other.
+	a := compile(t, "table t (id int, v int)", `
+create rule flip on t when updated(v) then update t set v = 1 where v = 0
+create rule flop on t when updated(v) then update t set v = 0 where v = 1
+`, nil)
+	v := a.Termination()
+	if v.Guaranteed {
+		t.Fatalf("ping-pong pair must stay flagged: %+v", v.SCCs)
+	}
+	if len(v.SCCs) != 1 || len(v.SCCs[0].Residual) != 2 {
+		t.Fatalf("SCCs = %+v", v.SCCs)
+	}
+	found := false
+	for _, f := range v.SCCs[0].Failures {
+		if f.Kind == "convergent-update" && strings.Contains(f.Why, "back into the update scope") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("convergent failure missing: %+v", v.SCCs[0].Failures)
+	}
+}
+
+// --- structure: strata, status, explain ------------------------------
+
+func TestTerminationStrataAndStatus(t *testing.T) {
+	// Two cyclic components in sequence: {a1, a2} at stratum 1 feeds
+	// {b1, b2} downstream. Neither is dischargeable (mutual inserters).
+	a := compile(t, "table p (v int)\ntable q (v int)\ntable r (v int)\ntable s (v int)", `
+create rule a1 on p when inserted then insert into q values (1)
+create rule a2 on q when inserted then insert into p values (1); insert into r values (1)
+create rule b1 on r when inserted then insert into s values (1)
+create rule b2 on s when inserted then insert into r values (1)
+`, nil)
+	v := a.Termination()
+	if v.Status != TermUnknown || v.Guaranteed {
+		t.Fatalf("status = %s, want unknown", v.Status)
+	}
+	if len(v.SCCs) != 2 {
+		t.Fatalf("SCCs = %+v", v.SCCs)
+	}
+	byFirst := map[string]SCCVerdict{}
+	for _, sv := range v.SCCs {
+		byFirst[sv.Members[0]] = sv
+	}
+	if byFirst["a1"].Stratum != 1 || byFirst["b1"].Stratum != 2 {
+		t.Errorf("strata = a:%d b:%d, want 1 and 2", byFirst["a1"].Stratum, byFirst["b1"].Stratum)
+	}
+}
+
+func TestTerminationStatusString(t *testing.T) {
+	for st, want := range map[TerminationStatus]string{
+		TermUnknown: "unknown", TermAcyclic: "acyclic", TermCycleDischarged: "cycle-discharged",
+	} {
+		if st.String() != want {
+			t.Errorf("String(%d) = %q, want %q", st, st.String(), want)
+		}
+	}
+	a := compile(t, "table t (v int)", `
+create rule r on t when inserted then update t set v = 1 where v = 2
+`, nil)
+	if v := a.Termination(); v.Status != TermAcyclic {
+		t.Errorf("acyclic set status = %s", v.Status)
+	}
+}
+
+func TestExplainSCCRendering(t *testing.T) {
+	a := compile(t, "table t (id int, v int)", `
+create rule settle on t when updated(v) then update t set v = 1 where v = 0
+`, nil)
+	v := a.Termination()
+	out := ExplainSCC(v, 1)
+	for _, want := range []string{"cyclic component 1", "stratum 1", "settle", "convergent-update", "discharged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainSCC missing %q:\n%s", want, out)
+		}
+	}
+	if got := ExplainSCC(v, 7); !strings.Contains(got, "IDs run 1..1") {
+		t.Errorf("bad-id message = %q", got)
+	}
+	acyc := compile(t, "table t (v int)", `
+create rule r on t when inserted then delete from t where v < 0
+`, nil)
+	if got := ExplainSCC(acyc.Termination(), 1); !strings.Contains(got, "acyclic") {
+		t.Errorf("acyclic message = %q", got)
+	}
+}
+
+func TestDischargeReportRendering(t *testing.T) {
+	a := compile(t, "table cd (id int, v int, step int)", `
+create rule tick on cd when updated(v) then update cd set v = v - step where v > 0 and step >= 1
+`, nil)
+	out := ReportTermination(a.Termination())
+	for _, want := range []string{
+		"TERMINATION: guaranteed (every cyclic component discharged)",
+		"auto-discharged (tier-2 certificates): tick",
+		"cyclic component 1 [stratum 1] {tick}: discharged",
+		"tick [ranking]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDischargeLintCodes(t *testing.T) {
+	a := compile(t, "table cd (id int, v int, step int)\ntable t (id int, v int)", `
+create rule tick on cd when updated(v) then update cd set v = v - step where v > 0 and step >= 1
+create rule flip on t when updated(v) then update t set v = 1 where v = 0
+create rule flop on t when updated(v) then update t set v = 0 where v = 1
+`, nil)
+	lr := a.Lint()
+	var codes []string
+	for _, d := range lr.Diagnostics {
+		codes = append(codes, d.Code+":"+d.Rule)
+	}
+	joined := strings.Join(codes, " ")
+	if !strings.Contains(joined, "RL006:tick") {
+		t.Errorf("missing RL006 on tick: %v", codes)
+	}
+	if !strings.Contains(joined, "RL007:flip") {
+		t.Errorf("missing RL007 anchored at flip: %v", codes)
+	}
+	for _, d := range lr.Diagnostics {
+		if d.Code == "RL006" && !strings.Contains(d.Message, "cd.v (decreasing)") {
+			t.Errorf("RL006 should name column and direction: %q", d.Message)
+		}
+		if d.Code == "RL007" && d.Hint == "" {
+			t.Error("RL007 must carry a fix-it hint")
+		}
+	}
+}

@@ -58,6 +58,16 @@ type DegradedReport struct {
 	// Degraded reports whether any table's contents can be affected by
 	// the quarantine (i.e. some table is not Unaffected).
 	Degraded bool
+	// Termination is the tiered termination status of the rule set
+	// actually being served (the reduced set when rules are
+	// quarantined). Removing a rule can flip a status either way: losing
+	// a replenisher may make a cycle dischargeable, while losing a rule
+	// whose certificate anchored an SCC may not — so the live status is
+	// recomputed, never carried over.
+	Termination analysis.TerminationStatus
+	// WasTermination is the full rule set's baseline status, computed at
+	// server start.
+	WasTermination analysis.TerminationStatus
 	// Tables holds one verdict per served table, sorted by name.
 	Tables []TableGuarantee
 }
@@ -72,6 +82,7 @@ func (r *DegradedReport) String() string {
 	} else {
 		b.WriteString("mode: DEGRADED\n")
 	}
+	fmt.Fprintf(&b, "termination: %s (was %s)\n", r.Termination, r.WasTermination)
 	for _, t := range r.Tables {
 		if t.Unaffected {
 			fmt.Fprintf(&b, "table %s: unaffected (Sig ∩ quarantine = ∅); confluent=%v (was %v)\n",
@@ -102,6 +113,7 @@ type degradedAnalysis struct {
 	// Baseline over the full set, computed once at construction.
 	fullSig  map[string]map[string]bool // table -> Sig(table) names
 	fullConf map[string]bool            // table -> confluence guaranteed
+	fullTerm analysis.TerminationStatus // tiered termination status
 }
 
 func newDegradedAnalysis(sch *schema.Schema, defs []rules.Definition, tables []string) (*degradedAnalysis, error) {
@@ -134,6 +146,7 @@ func newDegradedAnalysis(sch *schema.Schema, defs []rules.Definition, tables []s
 		da.fullSig[t] = sig
 		da.fullConf[t] = v.Guaranteed()
 	}
+	da.fullTerm = a.Termination().Status
 	return da, nil
 }
 
@@ -168,8 +181,10 @@ func dropNames(names []string, removed map[string]bool) []string {
 // only the quarantined set reduces the analyzed rule set.
 func (da *degradedAnalysis) report(quarantined, probing []string) (*DegradedReport, error) {
 	rep := &DegradedReport{
-		Quarantined: append([]string(nil), quarantined...),
-		Probing:     append([]string(nil), probing...),
+		Quarantined:    append([]string(nil), quarantined...),
+		Probing:        append([]string(nil), probing...),
+		Termination:    da.fullTerm,
+		WasTermination: da.fullTerm,
 	}
 	q := map[string]bool{}
 	for _, n := range quarantined {
@@ -182,6 +197,7 @@ func (da *degradedAnalysis) report(quarantined, probing []string) (*DegradedRepo
 			return nil, fmt.Errorf("serve: reduced rule set invalid: %w", err)
 		}
 		reduced = analysis.New(set, nil)
+		rep.Termination = reduced.Termination().Status
 	}
 	for _, t := range da.tables {
 		// When Q ∩ Sig(t) = ∅ the removed rules are all non-significant

@@ -58,6 +58,16 @@ type Config struct {
 	// deleted / new-updated), exercising the set-oriented semantics.
 	TransRefFrac float64
 
+	// CyclicShapes appends, after the random rules, one hand-shaped
+	// cyclic-but-terminating pattern per entry — "countdown" (a
+	// column-stepped monotone countdown, discharged by the tier-2
+	// ranking argument), "drain" (a delete-only cycle with a provably
+	// out-of-scope refill), "converge" (an idempotent key-bounded
+	// update). Each shape lives on its own fresh tables, so it never
+	// perturbs the random part, and the knob consumes no randomness:
+	// generation with it unset stays byte-identical.
+	CyclicShapes []string
+
 	// ValueFloor, when positive, lifts every constant written by the
 	// generated insert and update statements by that amount. Generated
 	// condition bounds live in [40, 60), so a floor of 60 or more makes
@@ -98,6 +108,23 @@ func Generate(cfg Config) (*Generated, error) {
 	for i := 0; i < cfg.Tables; i++ {
 		b.Table(tableName(i), schema.Col("id", schema.Int), schema.Col("v", schema.Int))
 	}
+	shapes := map[string]bool{}
+	for _, shape := range cfg.CyclicShapes {
+		if shapes[shape] {
+			continue
+		}
+		shapes[shape] = true
+		switch shape {
+		case "countdown":
+			b.Table("cd_cnt", schema.Col("id", schema.Int), schema.Col("v", schema.Int), schema.Col("step", schema.Int))
+		case "drain":
+			b.Table("dr_pool", schema.Col("id", schema.Int), schema.Col("v", schema.Int))
+		case "converge":
+			b.Table("cv_keyd", schema.Col("id", schema.Int), schema.Col("v", schema.Int))
+		default:
+			return nil, fmt.Errorf("workload: unknown cyclic shape %q (want countdown, drain, or converge)", shape)
+		}
+	}
 	sch, err := b.Build()
 	if err != nil {
 		return nil, err
@@ -114,6 +141,15 @@ func Generate(cfg Config) (*Generated, error) {
 			if rng.Float64() < cfg.PriorityDensity {
 				defs[i].Precedes = append(defs[i].Precedes, ruleName(j))
 			}
+		}
+	}
+	// The cyclic shapes go AFTER every random draw above, so a config
+	// with the knob unset generates byte-identical output (the
+	// ValueFloor convention).
+	for _, shape := range cfg.CyclicShapes {
+		if shapes[shape] {
+			shapes[shape] = false // emit each shape once
+			defs = append(defs, shapeDefs(shape)...)
 		}
 	}
 	set, err := rules.NewSet(sch, defs)
@@ -134,6 +170,36 @@ func MustGenerate(cfg Config) *Generated {
 
 func tableName(i int) string { return fmt.Sprintf("t%d", i) }
 func ruleName(k int) string  { return fmt.Sprintf("r%d", k) }
+
+// shapeDefs returns the hand-shaped cyclic-but-terminating rules for
+// one CyclicShapes entry. Each shape is rejected by acyclicity alone
+// (it self-triggers) but carries a tier-2 discharge certificate; see
+// the testdata fixtures of the same names.
+func shapeDefs(shape string) []rules.Definition {
+	updV := []rules.TriggerSpec{{Kind: schema.OpUpdate, Columns: []string{"v"}}}
+	del := []rules.TriggerSpec{{Kind: schema.OpDelete}}
+	switch shape {
+	case "countdown":
+		return []rules.Definition{{
+			Name: "cd_dec", Table: "cd_cnt", Triggers: updV,
+			Action: []string{"update cd_cnt set v = v - step where v > 0 and step >= 1"},
+		}}
+	case "drain":
+		return []rules.Definition{{
+			Name: "dr_drain", Table: "dr_pool", Triggers: del,
+			Action: []string{"delete from dr_pool where v >= 0"},
+		}, {
+			Name: "dr_echo", Table: "dr_pool", Triggers: del,
+			Action: []string{"insert into dr_pool values (9, -5)"},
+		}}
+	case "converge":
+		return []rules.Definition{{
+			Name: "cv_set", Table: "cv_keyd", Triggers: updV,
+			Action: []string{"update cv_keyd set v = 1 where v = 0"},
+		}}
+	}
+	return nil
+}
 
 // genRule produces one rule definition. The rule watches a home table
 // and writes 1..WriteFanout target tables.
@@ -207,12 +273,19 @@ func genRule(cfg Config, rng *rand.Rand, k int) rules.Definition {
 }
 
 // SeedDatabase populates a database with n rows per table (ids 0..n-1,
-// v = id), deterministically.
+// v = id), deterministically. Columns beyond the first two are padded
+// with 1 — in particular cd_cnt.step = 1 satisfies the countdown
+// shape's step >= 1 scope.
 func SeedDatabase(sch *schema.Schema, n int) *storage.DB {
 	db := storage.NewDB(sch)
 	for _, t := range sch.TableNames() {
+		cols := len(sch.Table(t).Columns)
 		for i := 0; i < n; i++ {
-			db.MustInsert(t, storage.IntV(int64(i)), storage.IntV(int64(i)))
+			vals := []storage.Value{storage.IntV(int64(i)), storage.IntV(int64(i))}
+			for len(vals) < cols {
+				vals = append(vals, storage.IntV(1))
+			}
+			db.MustInsert(t, vals...)
 		}
 	}
 	return db

@@ -121,3 +121,61 @@ func TestTransRefGeneration(t *testing.T) {
 		t.Error("TransRefFrac=1 should produce transition-table reads")
 	}
 }
+
+func TestCyclicShapesLeaveRandomPartIdentical(t *testing.T) {
+	base := Config{Seed: 42, Rules: 8, Tables: 4, UpdateFrac: 0.4, PriorityDensity: 0.3}
+	withShapes := base
+	withShapes.CyclicShapes = []string{"countdown", "drain", "converge"}
+	a := MustGenerate(base)
+	b := MustGenerate(withShapes)
+	if b.Set.Len() != a.Set.Len()+4 {
+		t.Fatalf("shapes added %d rules, want 4", b.Set.Len()-a.Set.Len())
+	}
+	for i, r := range a.Set.Rules() {
+		if got := b.Set.Rules()[i].String(); got != r.String() {
+			t.Fatalf("random rule %d changed under CyclicShapes:\n%s\nvs\n%s", i, got, r.String())
+		}
+	}
+	// Duplicates collapse; unknown shapes error.
+	dup := base
+	dup.CyclicShapes = []string{"countdown", "countdown"}
+	if g := MustGenerate(dup); g.Set.Len() != base.Rules+1 {
+		t.Errorf("duplicate shape emitted twice: %d rules", g.Set.Len())
+	}
+	bad := base
+	bad.CyclicShapes = []string{"bogus"}
+	if _, err := Generate(bad); err == nil {
+		t.Error("unknown shape should error")
+	}
+}
+
+func TestCyclicShapesDischargedByTier2(t *testing.T) {
+	// Every shape must come out of the analyzer with a certificate: the
+	// whole point is generating cyclic-but-terminating corpora.
+	g := MustGenerate(Config{Seed: 9, Rules: 6, Tables: 4, Acyclic: true,
+		UpdateFrac: 0.3, CyclicShapes: []string{"countdown", "drain", "converge"}})
+	v := analysis.New(g.Set, nil).Termination()
+	if v.Status != analysis.TermCycleDischarged {
+		t.Fatalf("status = %s, want cycle-discharged: %+v", v.Status, v.SCCs)
+	}
+	kinds := map[string]string{}
+	for _, sv := range v.SCCs {
+		if !sv.Discharged {
+			t.Errorf("SCC %v not discharged: %+v", sv.Members, sv.Failures)
+		}
+		for _, step := range sv.Certificate {
+			kinds[step.Rule] = step.Kind
+		}
+	}
+	want := map[string]string{"cd_dec": "ranking", "dr_drain": "delete-only", "cv_set": "convergent-update"}
+	for rule, kind := range want {
+		if kinds[rule] != kind {
+			t.Errorf("%s discharged by %q, want %q", rule, kinds[rule], kind)
+		}
+	}
+	// The seeded database satisfies the padded-column convention.
+	db := SeedDatabase(g.Schema, 3)
+	if db.Table("cd_cnt").Len() != 3 {
+		t.Errorf("cd_cnt rows = %d", db.Table("cd_cnt").Len())
+	}
+}

@@ -93,8 +93,19 @@ func TestTestdataPowernet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Analyze(nil).Termination.Guaranteed {
-		t.Fatal("propagation cycle should be flagged without discharges")
+	// The propagation cycle is real, but tier 2 discharges it with
+	// convergent-update certificates — no user certification needed.
+	term := sys.Analyze(nil).Termination
+	if term.Status != activerules.TermCycleDischarged {
+		t.Fatalf("termination status = %s, want cycle-discharged", term.Status)
+	}
+	if len(term.SCCs) != 1 || !term.SCCs[0].Discharged || len(term.SCCs[0].Certificate) != 2 {
+		t.Fatalf("want one discharged SCC with two certificates, got %+v", term.SCCs)
+	}
+	for _, step := range term.SCCs[0].Certificate {
+		if step.Kind != "convergent-update" {
+			t.Errorf("rule %s: certificate kind = %s, want convergent-update", step.Rule, step.Kind)
+		}
 	}
 	sys2, cert := loadCerts(t, sys, "testdata/powernet/certs.txt")
 	rep := sys2.Analyze(cert)
