@@ -7,11 +7,29 @@
 // Usage:
 //
 //	ruled -schema schema.sdl -rules rules.srl -wal dir [flags]
+//	ruled -tenants root [flags]
 //
 // Flags:
 //
 //	-listen addr     serve TCP on addr (e.g. 127.0.0.1:7070); when
 //	                 empty (the default), serve stdin/stdout
+//	-tenants root    multi-tenant mode: host many independent rule
+//	                 systems under one root directory, each with its own
+//	                 schema, rules, and WAL (tenants/<id>/wal), restored
+//	                 on startup from their manifests; excludes -shards,
+//	                 -replicate, and -follow, and makes -schema/-rules/
+//	                 -wal unnecessary (tenants are created over the
+//	                 wire)
+//	-tenant-slots n  per-tenant outstanding-request quota (0 = 8),
+//	                 enforced before the tenant's queue; shed requests
+//	                 get code "quota", distinct from "overload"
+//	-quarantine-on-regress
+//	                 admit verdict-regressing tenant-swap ops in
+//	                 degraded mode (with a §7 Sig(T') report) instead of
+//	                 rejecting them with code "swap-rejected"
+//	-parallel n      analyzer worker count for the shared analysis
+//	                 cache (0 = sequential; verdicts and reports are
+//	                 identical at every parallelism)
 //	-shards n        run one engine+WAL per analysis-proven shard
 //	                 (Section 7: disjoint Sig(T') groups), coalesced to
 //	                 at most n shards, routing each assert to the shard
@@ -45,9 +63,20 @@
 //	{"op":"assert","sql":"insert into t values (1)","deadline_ms":100}
 //	{"op":"health"}   {"op":"stats"}   {"op":"checkpoint"}   {"op":"shutdown"}
 //
+// In multi-tenant mode every op carries a "tenant" field routing it to
+// that tenant's server, and five lifecycle ops manage the fleet:
+//
+//	{"op":"tenant-create","tenant":"acme","schema":"...","rules":"..."}
+//	{"op":"tenant-load","tenant":"acme"}
+//	{"op":"tenant-swap","tenant":"acme","rules":"..."}
+//	{"op":"tenant-drop","tenant":"acme","destroy":true}
+//	{"op":"tenant-stats"}            (fleet aggregate + analysis cache)
+//	{"op":"tenant-stats","tenant":"acme"}   (same as {"op":"stats",...})
+//
 // Every response carries "ok"; failures add "error" and a stable
 // "code": overload | deadline | closed | exec | livelock | maxsteps |
-// cancelled | durability | shard | read-only | bad-request.
+// cancelled | durability | shard | read-only | quota | swap-rejected |
+// no-tenant | tenant-exists | bad-request.
 //
 // Exit status:
 //
@@ -98,6 +127,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	rulesPath := fs.String("rules", "", "rule definition file (required)")
 	walDir := fs.String("wal", "", "write-ahead log directory (required; recovered on start)")
 	listen := fs.String("listen", "", "TCP listen address (empty = stdin/stdout)")
+	tenants := fs.String("tenants", "", "multi-tenant root directory (excludes -shards/-replicate/-follow)")
+	tenantSlots := fs.Int("tenant-slots", 0, "per-tenant outstanding-request quota (0 = 8)")
+	quarOnRegress := fs.Bool("quarantine-on-regress", false, "admit verdict-regressing swaps in degraded mode")
+	parallel := fs.Int("parallel", 0, "analyzer workers for the shared analysis cache (0 = sequential)")
 	shards := fs.Int("shards", 0, "engines: one per analysis-proven shard, at most n (0 = unsharded)")
 	replicate := fs.String("replicate", "", "stream the WAL to followers on this address (unsharded only)")
 	follow := fs.String("follow", "", "run as a read-only follower of the source at this address")
@@ -115,18 +148,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *schemaPath == "" || *rulesPath == "" || *walDir == "" {
-		fmt.Fprintln(stderr, "ruled: -schema, -rules, and -wal are required")
+	if *tenants == "" && (*schemaPath == "" || *rulesPath == "" || *walDir == "") {
+		fmt.Fprintln(stderr, "ruled: -schema, -rules, and -wal are required (or -tenants for multi-tenant mode)")
 		fs.Usage()
 		return 2
 	}
 
-	sys, err := activerules.LoadFiles(*schemaPath, *rulesPath)
-	if err != nil {
-		fmt.Fprintln(stderr, "ruled:", err)
-		return 2
+	var sys *activerules.System
+	if *tenants == "" {
+		var err error
+		sys, err = activerules.LoadFiles(*schemaPath, *rulesPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "ruled:", err)
+			return 2
+		}
+		sys.SetCompiled(*compiled)
 	}
-	sys.SetCompiled(*compiled)
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(stderr, "ruled:", err)
@@ -152,6 +189,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	var b backend
 	var shutdown func(context.Context) error
 	switch {
+	case *tenants != "":
+		if *shards > 0 || *replicate != "" || *follow != "" {
+			fmt.Fprintln(stderr, "ruled: -tenants excludes -shards, -replicate, and -follow")
+			return 2
+		}
+		cfg.Engine.Compiled = *compiled
+		m, err := activerules.OpenTenants(*tenants, activerules.TenantConfig{
+			Serve:               cfg,
+			TenantSlots:         *tenantSlots,
+			QuarantineOnRegress: *quarOnRegress,
+			AnalysisParallelism: *parallel,
+		})
+		if err != nil {
+			if errors.Is(err, activerules.ErrUnrecoverableLog) {
+				fmt.Fprintln(stderr, "ruled: unrecoverable write-ahead log:", err)
+				return 7
+			}
+			fmt.Fprintln(stderr, "ruled:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "ruled: %d tenant(s)\n", len(m.Tenants()))
+		b = tenantBackend{m}
+		shutdown = m.Shutdown
 	case *follow != "":
 		if *shards > 0 || *replicate != "" {
 			fmt.Fprintln(stderr, "ruled: -follow excludes -shards and -replicate")
@@ -162,7 +222,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			fmt.Fprintln(stderr, "ruled: replication:", err)
 			return 9
 		}
-		b = followerBackend{fol}
+		b = followerBackend{f: fol}
 		shutdown = func(context.Context) error { return fol.Close() }
 	case *shards > 0:
 		if *replicate != "" {
@@ -179,7 +239,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			return 2
 		}
 		fmt.Fprintf(stdout, "ruled: %d shard(s)\n", g.NumShards())
-		b = shardBackend{g}
+		b = shardBackend{g: g}
 		shutdown = g.Shutdown
 	default:
 		srv, err := sys.NewServer(*walDir, cfg)
@@ -201,7 +261,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			defer src.Close()
 			fmt.Fprintf(stdout, "ruled: replicating on %s\n", src.Addr())
 		}
-		b = flatBackend{srv}
+		b = flatBackend{srv: srv}
 		shutdown = srv.Shutdown
 	}
 
@@ -276,40 +336,105 @@ type wireReq struct {
 	Op         string `json:"op"`
 	SQL        string `json:"sql,omitempty"`
 	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	// Tenant routes the op in multi-tenant mode; Schema/Rules/Destroy
+	// are the tenant lifecycle ops' payloads.
+	Tenant  string `json:"tenant,omitempty"`
+	Schema  string `json:"schema,omitempty"`
+	Rules   string `json:"rules,omitempty"`
+	Destroy bool   `json:"destroy,omitempty"`
 }
 
 // serveLines reads JSON lines from r and writes one JSON response line
 // per request to w. Writes are serialized so concurrent asserts from
 // one peer interleave whole lines.
-// backend abstracts the three serving modes — one server, a shard
-// group, a read-only follower — behind the wire protocol.
+// backend abstracts the serving modes — one server, a shard group, a
+// read-only follower, a tenant fleet — behind the wire protocol. The
+// tenant parameter is the request's routing field; single-system
+// backends reject a non-empty one with errNoTenant.
 type backend interface {
-	assert(ctx context.Context, req activerules.ServeRequest) (*activerules.ServeResponse, error)
-	checkpoint(ctx context.Context) error
-	healthBody() map[string]any
-	statsBody() map[string]any
+	assert(ctx context.Context, tenant string, req activerules.ServeRequest) (*activerules.ServeResponse, error)
+	checkpoint(ctx context.Context, tenant string) error
+	healthBody(tenant string) (map[string]any, error)
+	statsBody(tenant string) (map[string]any, error)
+	tenantOp(ctx context.Context, req wireReq) map[string]any
 }
 
 // errReadOnly rejects mutating ops on a follower (code "read-only").
 var errReadOnly = errors.New("follower is read-only; send asserts to the leader")
 
-type flatBackend struct{ srv *activerules.Server }
+// errNoTenant rejects tenant-routed ops on single-system backends
+// (code "no-tenant"); run ruled with -tenants to serve a fleet.
+var errNoTenant = errors.New("this server is single-tenant; restart with -tenants to serve tenants")
 
-func (b flatBackend) assert(ctx context.Context, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+// singleTenant supplies the tenant rejections shared by the flat,
+// shard, and follower backends.
+type singleTenant struct{}
+
+func (singleTenant) tenantOp(context.Context, wireReq) map[string]any { return errorBody(errNoTenant) }
+
+func (singleTenant) rejectTenant(tenant string) error {
+	if tenant != "" {
+		return errNoTenant
+	}
+	return nil
+}
+
+type flatBackend struct {
+	singleTenant
+	srv *activerules.Server
+}
+
+func (b flatBackend) assert(ctx context.Context, tenant string, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
 	return b.srv.Submit(ctx, req)
 }
-func (b flatBackend) checkpoint(ctx context.Context) error { return b.srv.Checkpoint(ctx) }
-func (b flatBackend) healthBody() map[string]any           { return healthFields(b.srv.Health()) }
-func (b flatBackend) statsBody() map[string]any            { return statsFields(b.srv.Stats()) }
+func (b flatBackend) checkpoint(ctx context.Context, tenant string) error {
+	if err := b.rejectTenant(tenant); err != nil {
+		return err
+	}
+	return b.srv.Checkpoint(ctx)
+}
+func (b flatBackend) healthBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
+	return healthFields(b.srv.Health()), nil
+}
+func (b flatBackend) statsBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
+	return statsFields(b.srv.Stats()), nil
+}
 
-type shardBackend struct{ g *activerules.ShardGroup }
+type shardBackend struct {
+	singleTenant
+	g *activerules.ShardGroup
+}
 
-func (b shardBackend) assert(ctx context.Context, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+func (b shardBackend) assert(ctx context.Context, tenant string, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
 	return b.g.Submit(ctx, req)
 }
-func (b shardBackend) checkpoint(ctx context.Context) error { return b.g.Checkpoint(ctx) }
+func (b shardBackend) checkpoint(ctx context.Context, tenant string) error {
+	if err := b.rejectTenant(tenant); err != nil {
+		return err
+	}
+	return b.g.Checkpoint(ctx)
+}
 
-func (b shardBackend) healthBody() map[string]any {
+func (b shardBackend) healthBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
+	return b.shardHealth(), nil
+}
+
+func (b shardBackend) shardHealth() map[string]any {
 	hs := b.g.Health()
 	ready, degraded := true, false
 	perShard := make([]map[string]any, len(hs))
@@ -328,7 +453,10 @@ func (b shardBackend) healthBody() map[string]any {
 	}
 }
 
-func (b shardBackend) statsBody() map[string]any {
+func (b shardBackend) statsBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
 	sts := b.g.Stats()
 	perShard := make([]map[string]any, len(sts))
 	var accepted, completed, failed uint64
@@ -341,16 +469,22 @@ func (b shardBackend) statsBody() map[string]any {
 	return map[string]any{
 		"ok": true, "accepted": accepted, "completed": completed, "failed": failed,
 		"shards": perShard,
-	}
+	}, nil
 }
 
-type followerBackend struct{ f *activerules.Follower }
+type followerBackend struct {
+	singleTenant
+	f *activerules.Follower
+}
 
-func (b followerBackend) assert(context.Context, activerules.ServeRequest) (*activerules.ServeResponse, error) {
+func (b followerBackend) assert(context.Context, string, activerules.ServeRequest) (*activerules.ServeResponse, error) {
 	return nil, errReadOnly
 }
-func (b followerBackend) checkpoint(context.Context) error { return errReadOnly }
-func (b followerBackend) healthBody() map[string]any {
+func (b followerBackend) checkpoint(context.Context, string) error { return errReadOnly }
+func (b followerBackend) healthBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
 	h := b.f.Health()
 	body := map[string]any{
 		"ok":         true,
@@ -363,9 +497,146 @@ func (b followerBackend) healthBody() map[string]any {
 	if h.LastErr != "" {
 		body["last_error"] = h.LastErr
 	}
+	return body, nil
+}
+func (b followerBackend) statsBody(tenant string) (map[string]any, error) {
+	return b.healthBody(tenant)
+}
+
+// tenantBackend routes the wire protocol onto a tenant fleet.
+type tenantBackend struct{ m *activerules.TenantManager }
+
+// errTenantRequired rejects data-plane ops missing the routing field in
+// multi-tenant mode (code "bad-request").
+var errTenantRequired = errors.New(`multi-tenant mode: op requires a "tenant" field`)
+
+func (b tenantBackend) assert(ctx context.Context, tenant string, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	if tenant == "" {
+		return nil, errTenantRequired
+	}
+	return b.m.Submit(ctx, tenant, req)
+}
+
+func (b tenantBackend) checkpoint(ctx context.Context, tenant string) error {
+	if tenant == "" {
+		return errTenantRequired
+	}
+	return b.m.Checkpoint(ctx, tenant)
+}
+
+func (b tenantBackend) healthBody(tenant string) (map[string]any, error) {
+	if tenant == "" {
+		ids := b.m.Tenants()
+		return map[string]any{"ok": true, "tenants": len(ids), "ids": ids}, nil
+	}
+	h, err := b.m.Health(tenant)
+	if err != nil {
+		return nil, err
+	}
+	body := healthFields(h.Health)
+	body["tenant"] = h.Tenant
+	if h.SwapQuarantine != nil {
+		body["swap_quarantine"] = h.SwapQuarantine.String()
+	}
+	return body, nil
+}
+
+func (b tenantBackend) statsBody(tenant string) (map[string]any, error) {
+	if tenant == "" {
+		return b.fleetStats(), nil
+	}
+	st, err := b.m.Stats(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return tenantStatsFields(st), nil
+}
+
+// fleetStats is the aggregate tenant-stats body: the fleet roster plus
+// the shared analysis cache's counters.
+func (b tenantBackend) fleetStats() map[string]any {
+	ms := b.m.StatsAll()
+	per := make([]map[string]any, 0, len(ms.PerTenant))
+	for _, st := range ms.PerTenant {
+		per = append(per, tenantStatsFields(st))
+	}
+	return map[string]any{
+		"ok":            true,
+		"tenants":       ms.Tenants,
+		"cache_hits":    ms.CacheHits,
+		"cache_misses":  ms.CacheMisses,
+		"cache_entries": ms.CacheEntries,
+		"per_tenant":    per,
+	}
+}
+
+func tenantStatsFields(st *activerules.TenantStats) map[string]any {
+	body := statsFields(st.Stats)
+	body["tenant"] = st.Tenant
+	body["in_flight"] = st.InFlight
+	body["outstanding"] = st.Outstanding
+	body["quota_limit"] = st.QuotaLimit
+	body["shed_quota"] = st.ShedQuota
+	body["rule_set_hash"] = st.RuleSetHash
 	return body
 }
-func (b followerBackend) statsBody() map[string]any { return b.healthBody() }
+
+// summaryFields reports a rule set's analysis verdicts in a lifecycle
+// response.
+func summaryFields(tenant string, sum *activerules.RuleSetSummary) map[string]any {
+	return map[string]any{
+		"ok":            true,
+		"tenant":        tenant,
+		"rule_set_hash": sum.Hash,
+		"termination":   sum.Term.String(),
+		"terminates":    sum.TermGuaranteed,
+		"confluent":     sum.ConfGuaranteed,
+		"observable":    sum.ObsGuaranteed,
+	}
+}
+
+func (b tenantBackend) tenantOp(ctx context.Context, req wireReq) map[string]any {
+	if req.Tenant == "" && req.Op != "tenant-stats" {
+		return errorBody(errTenantRequired)
+	}
+	switch req.Op {
+	case "tenant-create":
+		sum, err := b.m.Create(req.Tenant, req.Schema, req.Rules)
+		if err != nil {
+			return errorBody(err)
+		}
+		return summaryFields(req.Tenant, sum)
+	case "tenant-load":
+		sum, err := b.m.Load(req.Tenant)
+		if err != nil {
+			return errorBody(err)
+		}
+		return summaryFields(req.Tenant, sum)
+	case "tenant-swap":
+		sum, quar, err := b.m.Swap(ctx, req.Tenant, req.Rules)
+		if err != nil {
+			return errorBody(err)
+		}
+		body := summaryFields(req.Tenant, sum)
+		if quar != nil {
+			body["swap_quarantine"] = quar.String()
+		}
+		return body
+	case "tenant-drop":
+		if err := b.m.Drop(req.Tenant, req.Destroy); err != nil {
+			return errorBody(err)
+		}
+		return map[string]any{"ok": true, "tenant": req.Tenant, "destroyed": req.Destroy}
+	case "tenant-stats":
+		body, err := b.statsBody(req.Tenant)
+		if err != nil {
+			return errorBody(err)
+		}
+		return body
+	default:
+		return errorBody(fmt.Errorf("unknown tenant op %q", req.Op))
+	}
+}
 
 func healthFields(h activerules.ServerHealth) map[string]any {
 	return map[string]any{
@@ -419,7 +690,7 @@ func serveLines(b backend, r io.Reader, w io.Writer, requestStop func()) {
 		}
 		switch req.Op {
 		case "assert":
-			resp, err := b.assert(context.Background(), activerules.ServeRequest{
+			resp, err := b.assert(context.Background(), req.Tenant, activerules.ServeRequest{
 				SQL:      req.SQL,
 				Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
 			})
@@ -429,21 +700,33 @@ func serveLines(b backend, r io.Reader, w io.Writer, requestStop func()) {
 			}
 			respond(assertBody(resp))
 		case "health":
-			respond(b.healthBody())
+			body, err := b.healthBody(req.Tenant)
+			if err != nil {
+				respond(errorBody(err))
+				continue
+			}
+			respond(body)
 		case "stats":
-			respond(b.statsBody())
+			body, err := b.statsBody(req.Tenant)
+			if err != nil {
+				respond(errorBody(err))
+				continue
+			}
+			respond(body)
 		case "checkpoint":
-			if err := b.checkpoint(context.Background()); err != nil {
+			if err := b.checkpoint(context.Background(), req.Tenant); err != nil {
 				respond(errorBody(err))
 				continue
 			}
 			respond(map[string]any{"ok": true})
+		case "tenant-create", "tenant-load", "tenant-swap", "tenant-drop", "tenant-stats":
+			respond(b.tenantOp(context.Background(), req))
 		case "shutdown":
 			respond(map[string]any{"ok": true, "state": activerules.ServerDraining})
 			requestStop()
 		default:
 			respond(map[string]any{"ok": false, "code": "bad-request",
-				"error": fmt.Sprintf("unknown op %q (want assert, health, stats, checkpoint, or shutdown)", req.Op)})
+				"error": fmt.Sprintf("unknown op %q (want assert, health, stats, checkpoint, shutdown, or tenant-create/load/swap/drop/stats)", req.Op)})
 		}
 	}
 }
@@ -496,11 +779,30 @@ func errorBody(err error) map[string]any {
 	var cancelled *activerules.CancelledError
 	var dur *activerules.DurabilityError
 	var she *activerules.ShardError
+	var tq *activerules.TenantQuotaError
+	var tsr *activerules.SwapRejectedError
+	var tnf *activerules.TenantNotFoundError
+	var tex *activerules.TenantExistsError
+	var tid *activerules.TenantIDError
 	switch {
 	case errors.As(err, &she):
 		code = "shard"
 	case errors.Is(err, errReadOnly):
 		code = "read-only"
+	case errors.As(err, &tq):
+		// Per-tenant quota shedding, deliberately distinct from the
+		// server-level "overload" code.
+		code = "quota"
+	case errors.As(err, &tsr):
+		code = "swap-rejected"
+	case errors.As(err, &tnf), errors.Is(err, errNoTenant):
+		code = "no-tenant"
+	case errors.As(err, &tex):
+		code = "tenant-exists"
+	case errors.As(err, &tid), errors.Is(err, errTenantRequired):
+		code = "bad-request"
+	case errors.Is(err, activerules.ErrTenantManagerClosed):
+		code = "closed"
 	case errors.As(err, &oe):
 		code = "overload"
 	case errors.As(err, &de):

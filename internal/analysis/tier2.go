@@ -86,6 +86,26 @@ func (s TerminationStatus) String() string {
 // MarshalJSON renders the status as its string form.
 func (s TerminationStatus) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON accepts the string form emitted by MarshalJSON, so the
+// status round-trips through persisted reports (e.g. tenant manifests).
+func (s *TerminationStatus) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "acyclic":
+		*s = TermAcyclic
+	case "cycle-discharged":
+		*s = TermCycleDischarged
+	case "unknown":
+		*s = TermUnknown
+	default:
+		return fmt.Errorf("unknown termination status %q", name)
+	}
+	return nil
+}
+
 // DischargeStep is one tier-2 certificate: a proof that one rule of a
 // cyclic SCC fires with effect only finitely often.
 type DischargeStep struct {

@@ -195,3 +195,15 @@ func (b *breaker) probingNames() []string {
 	sort.Strings(out)
 	return out
 }
+
+// retain drops breaker state for every rule not in live, so a hot
+// rule-set swap does not leave ghost quarantine entries for rules that
+// no longer exist. Surviving names keep their state: a quarantined rule
+// stays quarantined across a swap that keeps it.
+func (b *breaker) retain(live map[string]bool) {
+	for name := range b.health {
+		if !live[name] {
+			delete(b.health, name)
+		}
+	}
+}

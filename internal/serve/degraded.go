@@ -50,6 +50,10 @@ type TableGuarantee struct {
 // quarantine set. Its String form is deterministic: equal quarantine
 // and probing sets yield byte-identical reports.
 type DegradedReport struct {
+	// Tenant is the id of the tenant this server belongs to (empty for
+	// a single-tenant server). Multi-tenant soak logs attribute every
+	// report line through it.
+	Tenant string
 	// Quarantined lists rules with an open breaker (sorted).
 	Quarantined []string
 	// Probing lists half-open rules currently readmitted for a live
@@ -75,6 +79,9 @@ type DegradedReport struct {
 // String renders the report deterministically, one line per table.
 func (r *DegradedReport) String() string {
 	var b strings.Builder
+	if r.Tenant != "" {
+		fmt.Fprintf(&b, "tenant: %s\n", r.Tenant)
+	}
 	fmt.Fprintf(&b, "quarantined: %s\n", nameList(r.Quarantined))
 	fmt.Fprintf(&b, "probing: %s\n", nameList(r.Probing))
 	if !r.Degraded {
@@ -102,21 +109,29 @@ func nameList(names []string) string {
 	return "[" + strings.Join(names, " ") + "]"
 }
 
-// degradedAnalysis precomputes the full-set baseline once and derives
-// reduced-set reports as the quarantine set evolves. All methods run on
-// the worker goroutine.
-type degradedAnalysis struct {
-	sch    *schema.Schema
-	defs   []rules.Definition
-	tables []string // report tables, sorted
-
-	// Baseline over the full set, computed once at construction.
-	fullSig  map[string]map[string]bool // table -> Sig(table) names
-	fullConf map[string]bool            // table -> confluence guaranteed
-	fullTerm analysis.TerminationStatus // tiered termination status
+// Baseline is the full-rule-set analysis a server's degraded-mode
+// reporting starts from: the per-table §7 significant sets and partial-
+// confluence verdicts plus the tiered termination status. Computing it
+// runs the analyzer once; callers hosting many servers over identical
+// rule sets (internal/tenant's shared analysis cache) compute it once
+// and hand it to every server via Config.Baseline. A Baseline is
+// immutable after construction and safe to share.
+type Baseline struct {
+	// Tables are the report tables, sorted.
+	Tables []string
+	// Sig maps each table to the names of its significant rules — the
+	// rules that can directly or indirectly affect the table's final
+	// contents (Definition 7.1).
+	Sig map[string]map[string]bool
+	// Conf maps each table to the full set's partial-confluence verdict.
+	Conf map[string]bool
+	// Term is the full set's tiered termination status.
+	Term analysis.TerminationStatus
 }
 
-func newDegradedAnalysis(sch *schema.Schema, defs []rules.Definition, tables []string) (*degradedAnalysis, error) {
+// resolveTables returns the report table list: the explicit selection,
+// or every schema table, sorted either way.
+func resolveTables(sch *schema.Schema, tables []string) []string {
 	if len(tables) == 0 {
 		for _, t := range sch.SortedTables() {
 			tables = append(tables, t.Name)
@@ -125,29 +140,68 @@ func newDegradedAnalysis(sch *schema.Schema, defs []rules.Definition, tables []s
 		tables = append([]string(nil), tables...)
 	}
 	sort.Strings(tables)
+	return tables
+}
+
+// ComputeBaseline validates the rule set and runs the §7 analysis that
+// degraded-mode reporting needs: per-table significant sets and
+// partial-confluence verdicts, plus the tiered termination status.
+// tables empty means every schema table. par > 0 sets the analyzer's
+// worker count (verdicts are identical at every parallelism).
+func ComputeBaseline(sch *schema.Schema, defs []rules.Definition, tables []string, par int) (*Baseline, error) {
 	full, err := rules.NewSet(sch, defs)
 	if err != nil {
 		return nil, err
 	}
 	a := analysis.New(full, nil)
-	da := &degradedAnalysis{
-		sch:      sch,
-		defs:     defs,
-		tables:   tables,
-		fullSig:  map[string]map[string]bool{},
-		fullConf: map[string]bool{},
+	if par > 0 {
+		a.SetParallelism(par)
 	}
-	for _, t := range tables {
+	bl := &Baseline{
+		Tables: resolveTables(sch, tables),
+		Sig:    map[string]map[string]bool{},
+		Conf:   map[string]bool{},
+	}
+	for _, t := range bl.Tables {
 		v := a.PartialConfluence([]string{t})
 		sig := map[string]bool{}
 		for _, name := range v.SigNames() {
 			sig[name] = true
 		}
-		da.fullSig[t] = sig
-		da.fullConf[t] = v.Guaranteed()
+		bl.Sig[t] = sig
+		bl.Conf[t] = v.Guaranteed()
 	}
-	da.fullTerm = a.Termination().Status
-	return da, nil
+	bl.Term = a.Termination().Status
+	return bl, nil
+}
+
+// degradedAnalysis holds the full-set baseline and derives reduced-set
+// reports as the quarantine set evolves. All methods run on the worker
+// goroutine.
+type degradedAnalysis struct {
+	sch    *schema.Schema
+	defs   []rules.Definition
+	tenant string
+	bl     *Baseline
+}
+
+// newDegradedAnalysis wraps a caller-provided baseline, or computes one
+// when bl is nil. A provided baseline MUST describe exactly (sch, defs,
+// tables) — the tenant layer guarantees this by keying its cache on the
+// canonical rule-set hash.
+func newDegradedAnalysis(sch *schema.Schema, defs []rules.Definition, tables []string, tenant string, bl *Baseline) (*degradedAnalysis, error) {
+	if bl == nil {
+		var err error
+		bl, err = ComputeBaseline(sch, defs, tables, 0)
+		if err != nil {
+			return nil, err
+		}
+	} else if _, err := rules.NewSet(sch, defs); err != nil {
+		// Still validate the definitions: the baseline skips analysis,
+		// not compilation.
+		return nil, err
+	}
+	return &degradedAnalysis{sch: sch, defs: defs, tenant: tenant, bl: bl}, nil
 }
 
 // activeDefs filters the definitions down to the rules not in removed,
@@ -181,10 +235,11 @@ func dropNames(names []string, removed map[string]bool) []string {
 // only the quarantined set reduces the analyzed rule set.
 func (da *degradedAnalysis) report(quarantined, probing []string) (*DegradedReport, error) {
 	rep := &DegradedReport{
+		Tenant:         da.tenant,
 		Quarantined:    append([]string(nil), quarantined...),
 		Probing:        append([]string(nil), probing...),
-		Termination:    da.fullTerm,
-		WasTermination: da.fullTerm,
+		Termination:    da.bl.Term,
+		WasTermination: da.bl.Term,
 	}
 	q := map[string]bool{}
 	for _, n := range quarantined {
@@ -199,18 +254,18 @@ func (da *degradedAnalysis) report(quarantined, probing []string) (*DegradedRepo
 		reduced = analysis.New(set, nil)
 		rep.Termination = reduced.Termination().Status
 	}
-	for _, t := range da.tables {
+	for _, t := range da.bl.Tables {
 		// When Q ∩ Sig(t) = ∅ the removed rules are all non-significant
 		// for t, so Sig_reduced(t) = Sig_full(t) and the confluence
 		// verdict carries over unchanged — no need to re-analyze.
 		g := TableGuarantee{
 			Table:        t,
 			Unaffected:   true,
-			WasConfluent: da.fullConf[t],
-			Confluent:    da.fullConf[t],
+			WasConfluent: da.bl.Conf[t],
+			Confluent:    da.bl.Conf[t],
 		}
 		for _, n := range quarantined {
-			if da.fullSig[t][n] {
+			if da.bl.Sig[t][n] {
 				g.SigQuarantined = append(g.SigQuarantined, n)
 			}
 		}

@@ -23,12 +23,12 @@ create rule reset on cd
 when updated(v)
 then insert into cd values (9, 5)
 `)
-	da, err := newDegradedAnalysis(sch, defs, nil)
+	da, err := newDegradedAnalysis(sch, defs, nil, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if da.fullTerm != analysis.TermUnknown {
-		t.Fatalf("baseline status = %v, want unknown (reset blocks the ranking discharge)", da.fullTerm)
+	if da.bl.Term != analysis.TermUnknown {
+		t.Fatalf("baseline status = %v, want unknown (reset blocks the ranking discharge)", da.bl.Term)
 	}
 
 	healthy, err := da.report(nil, nil)

@@ -36,6 +36,9 @@ const (
 // OverloadError reports deadline-aware load shedding at admission. The
 // request was never queued and had no effect.
 type OverloadError struct {
+	// Tenant is the id of the tenant whose admission rejected the
+	// request (empty on a single-tenant server).
+	Tenant string
 	Reason OverloadReason
 	// QueueLen and QueueCap describe the admission queue at rejection.
 	QueueLen, QueueCap int
@@ -48,27 +51,33 @@ type OverloadError struct {
 
 func (e *OverloadError) Error() string {
 	if e.Reason == OverloadProjectedWait {
-		return fmt.Sprintf("serve: overloaded: projected queue wait %v exceeds deadline %v (queue %d/%d)",
-			e.ProjectedWait, e.Deadline, e.QueueLen, e.QueueCap)
+		return fmt.Sprintf("serve%s: overloaded: projected queue wait %v exceeds deadline %v (queue %d/%d)",
+			tenantTag(e.Tenant), e.ProjectedWait, e.Deadline, e.QueueLen, e.QueueCap)
 	}
-	return fmt.Sprintf("serve: overloaded: admission queue full (%d/%d)", e.QueueLen, e.QueueCap)
+	return fmt.Sprintf("serve%s: overloaded: admission queue full (%d/%d)", tenantTag(e.Tenant), e.QueueLen, e.QueueCap)
 }
 
 // DeadlineError reports a request shed after admission: its deadline
 // expired while it waited in the queue, so it was dropped without
 // occupying an execution slot and had no effect.
 type DeadlineError struct {
+	// Tenant is the id of the tenant that shed the request (empty on a
+	// single-tenant server).
+	Tenant string
 	// Waited is how long the request sat in the queue before being shed.
 	Waited time.Duration
 }
 
 func (e *DeadlineError) Error() string {
-	return fmt.Sprintf("serve: deadline expired after waiting %v in queue; request shed unexecuted", e.Waited)
+	return fmt.Sprintf("serve%s: deadline expired after waiting %v in queue; request shed unexecuted", tenantTag(e.Tenant), e.Waited)
 }
 
 // ClosedError reports a request rejected because the server is no
 // longer accepting work.
 type ClosedError struct {
+	// Tenant is the id of the tenant whose server refused the request
+	// (empty on a single-tenant server).
+	Tenant string
 	// State is the server state that refused the request: "draining",
 	// "closed", or "failed".
 	State string
@@ -79,10 +88,20 @@ type ClosedError struct {
 
 func (e *ClosedError) Error() string {
 	if e.Cause != nil {
-		return fmt.Sprintf("serve: server %s: %v", e.State, e.Cause)
+		return fmt.Sprintf("serve%s: server %s: %v", tenantTag(e.Tenant), e.State, e.Cause)
 	}
-	return fmt.Sprintf("serve: server %s", e.State)
+	return fmt.Sprintf("serve%s: server %s", tenantTag(e.Tenant), e.State)
 }
 
 // Unwrap exposes the wedging cause for errors.Is / errors.As.
 func (e *ClosedError) Unwrap() error { return e.Cause }
+
+// tenantTag renders the tenant id fragment of an error message:
+// "[tenant <id>]" when set, empty otherwise, so single-tenant messages
+// are byte-identical to the pre-tenancy era.
+func tenantTag(tenant string) string {
+	if tenant == "" {
+		return ""
+	}
+	return "[tenant " + tenant + "]"
+}

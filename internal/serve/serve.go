@@ -84,6 +84,20 @@ type Config struct {
 	// Seed feeds every backoff schedule (per-rule probes, reopen); runs
 	// with equal seeds and equal fault sequences make equal decisions.
 	Seed int64
+	// Tenant is the id of the tenant this server belongs to. It is
+	// stamped onto every serving-layer error (*OverloadError,
+	// *DeadlineError, *ClosedError) and onto the degraded-mode report,
+	// so multi-tenant logs and error responses are attributable
+	// end-to-end. Empty (the default) renders exactly the single-tenant
+	// messages.
+	Tenant string
+	// Baseline, when non-nil, supplies the precomputed full-set §7
+	// analysis (per-table Sig and partial confluence, termination
+	// status) and MUST describe exactly this schema + rule set +
+	// Tables. The tenant layer's shared analysis cache uses it so a
+	// thousand tenants with identical rule sets pay for analysis once.
+	// Nil (the default) computes it at construction.
+	Baseline *Baseline
 	// Now and Sleep are injectable for deterministic tests; nil means
 	// time.Now and time.Sleep.
 	Now   func() time.Time
@@ -150,6 +164,9 @@ type Stats struct {
 	// AvgService is the smoothed per-request service time feeding the
 	// projected-wait admission check.
 	AvgService time.Duration
+	// AvgService is also exported as InFlight's sibling: InFlight is 1
+	// while the worker is executing a request, 0 otherwise.
+	InFlight int
 	// Quarantined and Probing list the breaker's open and half-open
 	// rules (sorted).
 	Quarantined, Probing []string
@@ -160,6 +177,7 @@ type callKind int
 const (
 	callAssert callKind = iota
 	callCheckpoint
+	callSwap
 )
 
 type callResult struct {
@@ -174,6 +192,11 @@ type call struct {
 	enq      time.Time
 	deadline time.Duration // effective; 0 means none
 	done     chan callResult
+
+	// callSwap payload: the replacement rule set with its (pre-built)
+	// degraded analysis.
+	swapDefs []rules.Definition
+	swapDA   *degradedAnalysis
 }
 
 // Server serializes requests onto one engine-owning worker goroutine.
@@ -224,7 +247,7 @@ func New(sch *schema.Schema, defs []rules.Definition, dir string, cfg Config) (*
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
 	}
-	da, err := newDegradedAnalysis(sch, defs, cfg.Tables)
+	da, err := newDegradedAnalysis(sch, defs, cfg.Tables, cfg.Tenant, cfg.Baseline)
 	if err != nil {
 		return nil, err
 	}
@@ -361,12 +384,12 @@ func (s *Server) admit(c *call) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateRunning {
-		return &ClosedError{State: s.state, Cause: s.cause}
+		return &ClosedError{Tenant: s.cfg.Tenant, State: s.state, Cause: s.cause}
 	}
 	qlen := len(s.queue)
 	if qlen >= cap(s.queue) {
 		s.shedOverload++
-		return &OverloadError{Reason: OverloadQueueFull, QueueLen: qlen, QueueCap: cap(s.queue)}
+		return &OverloadError{Tenant: s.cfg.Tenant, Reason: OverloadQueueFull, QueueLen: qlen, QueueCap: cap(s.queue)}
 	}
 	if c.deadline > 0 && s.svcEWMA > 0 {
 		waiting := qlen
@@ -376,6 +399,7 @@ func (s *Server) admit(c *call) error {
 		if projected := time.Duration(waiting) * s.svcEWMA; projected > c.deadline {
 			s.shedOverload++
 			return &OverloadError{
+				Tenant:        s.cfg.Tenant,
 				Reason:        OverloadProjectedWait,
 				QueueLen:      qlen,
 				QueueCap:      cap(s.queue),
@@ -401,12 +425,52 @@ func (s *Server) Checkpoint(ctx context.Context) error {
 	s.mu.Lock()
 	if s.state != StateRunning {
 		defer s.mu.Unlock()
-		return &ClosedError{State: s.state, Cause: s.cause}
+		return &ClosedError{Tenant: s.cfg.Tenant, State: s.state, Cause: s.cause}
 	}
 	if len(s.queue) >= cap(s.queue) {
 		defer s.mu.Unlock()
 		s.shedOverload++
-		return &OverloadError{Reason: OverloadQueueFull, QueueLen: len(s.queue), QueueCap: cap(s.queue)}
+		return &OverloadError{Tenant: s.cfg.Tenant, Reason: OverloadQueueFull, QueueLen: len(s.queue), QueueCap: cap(s.queue)}
+	}
+	c.enq = s.now()
+	s.queue <- c
+	s.mu.Unlock()
+	r := <-c.done
+	return r.err
+}
+
+// SwapRules hot-replaces the served rule set: the swap is queued like a
+// request and installed by the worker at a transaction boundary, so no
+// in-flight transaction ever sees a mixed rule set. The durable state
+// (database + WAL) carries over untouched; the degraded-mode baseline is
+// rebuilt for the new set; breaker state survives for rules that keep
+// their name (a quarantined rule stays quarantined across the swap) and
+// is dropped for rules that disappear.
+//
+// baseline, when non-nil, must be the precomputed §7 baseline of
+// exactly (schema, defs, Config.Tables); nil computes it here, on the
+// caller's goroutine, so the worker only installs. Admission gating —
+// deciding whether the new set's analysis verdicts are acceptable — is
+// the caller's job (internal/tenant rejects or quarantines regressing
+// swaps before calling this).
+func (s *Server) SwapRules(ctx context.Context, defs []rules.Definition, baseline *Baseline) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	da, err := newDegradedAnalysis(s.sch, defs, s.cfg.Tables, s.cfg.Tenant, baseline)
+	if err != nil {
+		return err
+	}
+	c := &call{kind: callSwap, ctx: ctx, swapDefs: defs, swapDA: da, done: make(chan callResult, 1)}
+	s.mu.Lock()
+	if s.state != StateRunning {
+		defer s.mu.Unlock()
+		return &ClosedError{Tenant: s.cfg.Tenant, State: s.state, Cause: s.cause}
+	}
+	if len(s.queue) >= cap(s.queue) {
+		defer s.mu.Unlock()
+		s.shedOverload++
+		return &OverloadError{Tenant: s.cfg.Tenant, Reason: OverloadQueueFull, QueueLen: len(s.queue), QueueCap: cap(s.queue)}
 	}
 	c.enq = s.now()
 	s.queue <- c
@@ -431,10 +495,15 @@ func (s *Server) Health() Health {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	inflight := 0
+	if s.busy {
+		inflight = 1
+	}
 	return Stats{
 		State:        s.state,
 		QueueLen:     len(s.queue),
 		QueueCap:     cap(s.queue),
+		InFlight:     inflight,
 		Accepted:     s.accepted,
 		Completed:    s.completed,
 		Failed:       s.failedReqs,
@@ -525,7 +594,7 @@ func (s *Server) finalize() {
 			shed := s.forceShed
 			s.mu.Unlock()
 			if shed {
-				c.done <- callResult{err: &ClosedError{State: StateDraining}}
+				c.done <- callResult{err: &ClosedError{Tenant: s.cfg.Tenant, State: StateDraining}}
 				continue
 			}
 			s.handle(c)
@@ -569,6 +638,10 @@ func (s *Server) handle(c *call) {
 		c.done <- callResult{err: s.doCheckpoint()}
 		return
 	}
+	if c.kind == callSwap {
+		c.done <- callResult{err: s.doSwap(c.swapDefs, c.swapDA)}
+		return
+	}
 	now := s.now()
 	s.mu.Lock()
 	shed := s.forceShed
@@ -576,11 +649,11 @@ func (s *Server) handle(c *call) {
 	cause := s.cause
 	s.mu.Unlock()
 	if failedState {
-		c.done <- callResult{err: &ClosedError{State: StateFailed, Cause: cause}}
+		c.done <- callResult{err: &ClosedError{Tenant: s.cfg.Tenant, State: StateFailed, Cause: cause}}
 		return
 	}
 	if shed {
-		c.done <- callResult{err: &ClosedError{State: StateDraining}}
+		c.done <- callResult{err: &ClosedError{Tenant: s.cfg.Tenant, State: StateDraining}}
 		return
 	}
 	// Shed expired work before it takes the execution slot.
@@ -589,7 +662,7 @@ func (s *Server) handle(c *call) {
 		s.mu.Lock()
 		s.shedDeadline++
 		s.mu.Unlock()
-		c.done <- callResult{err: &DeadlineError{Waited: waited}}
+		c.done <- callResult{err: &DeadlineError{Tenant: s.cfg.Tenant, Waited: waited}}
 		return
 	}
 	if cerr := c.ctx.Err(); cerr != nil {
@@ -668,7 +741,7 @@ func (s *Server) executeRequest(ctx context.Context, req Request) (*Response, er
 			return resp, execErr
 		}
 		if rerr := s.reopen(); rerr != nil {
-			return nil, &ClosedError{State: StateFailed, Cause: rerr}
+			return nil, &ClosedError{Tenant: s.cfg.Tenant, State: StateFailed, Cause: rerr}
 		}
 		if execErr != nil {
 			// The request failed deterministically (panic, livelock,
@@ -739,17 +812,41 @@ func (s *Server) fence() error {
 	return s.eng.Commit()
 }
 
+// doSwap installs a replacement rule set on the worker, between
+// transactions: new definitions, new degraded baseline, breaker state
+// retained only for surviving rule names, engine rebuilt over the same
+// database (and journal), report refreshed.
+func (s *Server) doSwap(defs []rules.Definition, da *degradedAnalysis) error {
+	live := map[string]bool{}
+	for _, d := range defs {
+		live[d.Name] = true
+	}
+	s.br.retain(live)
+	s.defs = defs
+	s.da = da
+	s.rebuildActive()
+	s.refreshReport()
+	s.mu.Lock()
+	failed := s.state == StateFailed
+	cause := s.cause
+	s.mu.Unlock()
+	if failed {
+		return &ClosedError{Tenant: s.cfg.Tenant, State: StateFailed, Cause: cause}
+	}
+	return nil
+}
+
 // doCheckpoint runs on the worker at a transaction boundary.
 func (s *Server) doCheckpoint() error {
 	if err := s.eng.Commit(); err != nil {
 		if rerr := s.reopen(); rerr != nil {
-			return &ClosedError{State: StateFailed, Cause: rerr}
+			return &ClosedError{Tenant: s.cfg.Tenant, State: StateFailed, Cause: rerr}
 		}
 		return err
 	}
 	if err := s.dd.Checkpoint(s.eng.DB()); err != nil {
 		if rerr := s.reopen(); rerr != nil {
-			return &ClosedError{State: StateFailed, Cause: rerr}
+			return &ClosedError{Tenant: s.cfg.Tenant, State: StateFailed, Cause: rerr}
 		}
 		return err
 	}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"activerules/internal/engine"
+	"activerules/internal/faultinject"
+	"activerules/internal/ruledef"
+	"activerules/internal/rules"
+	"activerules/internal/schema"
+	"activerules/internal/wal"
+)
+
+const swapSchema = `
+table t (v int)
+table l1 (v int)
+table l2 (v int)
+`
+
+func swapDefs(t *testing.T, src string) []rules.Definition {
+	t.Helper()
+	defs, err := ruledef.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return defs
+}
+
+// TestSwapRulesInstalls proves a hot swap takes effect at a transaction
+// boundary: requests before the swap run the old rule set, requests
+// after run the new one, and the durable state reflects exactly that
+// split.
+func TestSwapRulesInstalls(t *testing.T) {
+	sch := schema.MustParse(swapSchema)
+	oldDefs := swapDefs(t, `create rule r1 on t when inserted then insert into l1 select v from inserted`)
+	newDefs := swapDefs(t, `create rule r2 on t when inserted then insert into l2 select v from inserted`)
+
+	fsys := wal.NewMemFS()
+	s, err := New(sch, oldDefs, "wal", Config{WAL: wal.Options{FS: fsys}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), Request{SQL: "insert into t values (1)"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapRules(context.Background(), newDefs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), Request{SQL: "insert into t values (2)"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := wal.Recover("wal", sch, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("t").Len(); got != 2 {
+		t.Errorf("t has %d rows, want 2", got)
+	}
+	if got := db.Table("l1").Len(); got != 1 {
+		t.Errorf("l1 has %d rows, want 1 (only the pre-swap insert runs r1)", got)
+	}
+	if got := db.Table("l2").Len(); got != 1 {
+		t.Errorf("l2 has %d rows, want 1 (only the post-swap insert runs r2)", got)
+	}
+}
+
+// TestSwapRulesRefreshesBaseline proves the degraded-mode report after
+// a swap describes the NEW rule set (termination verdict and tables),
+// not a stale baseline.
+func TestSwapRulesRefreshesBaseline(t *testing.T) {
+	sch := schema.MustParse(`
+table t (v int)
+table ping (v int)
+table pong (v int)
+`)
+	calm := swapDefs(t, `create rule r1 on t when inserted then delete from t`)
+	cyclic := swapDefs(t, `
+create rule ra on ping when inserted then delete from ping; insert into pong values (1)
+create rule rb on pong when inserted then delete from pong; insert into ping values (1)
+`)
+	s, err := New(sch, calm, "wal", Config{WAL: wal.Options{FS: wal.NewMemFS()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.Health().Report.Termination
+	if err := s.SwapRules(context.Background(), cyclic, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Health().Report.Termination
+	if before == after {
+		t.Errorf("report termination unchanged across swap (%v); baseline is stale", after)
+	}
+}
+
+// TestSwapRulesRetainsBreaker proves breaker state survives a swap for
+// rules that keep their name and is dropped for rules that disappear.
+func TestSwapRulesRetainsBreaker(t *testing.T) {
+	sch := schema.MustParse(`
+table t (v int)
+table poison (v int)
+table l1 (v int)
+`)
+	hostile := swapDefs(t, `
+create rule copy on t when inserted then insert into l1 select v from inserted
+create rule hostile on t when inserted then insert into poison select v from inserted
+`)
+	stillHostile := swapDefs(t, `
+create rule hostile on t when inserted then insert into poison select v from inserted
+`)
+	calm := swapDefs(t, `create rule copy on t when inserted then insert into l1 select v from inserted`)
+
+	in := faultinject.New(faultinject.Config{PanicTable: "poison"})
+	s, err := New(sch, hostile, "wal", Config{
+		WAL:                 wal.Options{FS: wal.NewMemFS()},
+		Engine:              engine.Options{WrapMutator: in.Wrap},
+		QuarantineThreshold: 2,
+		DisableProbing:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Trip the hostile rule's breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(context.Background(), Request{SQL: fmt.Sprintf("insert into t values (%d)", i)}); err == nil {
+			t.Fatal("hostile rule did not fault")
+		}
+	}
+	if got := s.Health().Report.Quarantined; len(got) != 1 || got[0] != "hostile" {
+		t.Fatalf("quarantined = %v, want [hostile]", got)
+	}
+
+	// Swap to a set that keeps the rule name: still quarantined.
+	if err := s.SwapRules(context.Background(), stillHostile, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Health().Report.Quarantined; len(got) != 1 || got[0] != "hostile" {
+		t.Errorf("after name-preserving swap quarantined = %v, want [hostile]", got)
+	}
+
+	// Swap the rule away: its breaker state is dropped.
+	if err := s.SwapRules(context.Background(), calm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Health().Report.Quarantined; len(got) != 0 {
+		t.Errorf("after removing swap quarantined = %v, want []", got)
+	}
+	// The surviving set serves cleanly.
+	if _, err := s.Submit(context.Background(), Request{SQL: "insert into t values (9)"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantTaggedErrors audits the serving-layer error rendering for
+// the tenant field: every typed error names its tenant, and the empty
+// tenant renders the exact pre-tenancy message.
+func TestTenantTaggedErrors(t *testing.T) {
+	cases := []struct {
+		err        error
+		want, bare string
+	}{
+		{
+			err:  &OverloadError{Tenant: "acme", Reason: OverloadQueueFull, QueueLen: 4, QueueCap: 4},
+			want: "serve[tenant acme]: overloaded: admission queue full (4/4)",
+			bare: "serve: overloaded: admission queue full (4/4)",
+		},
+		{
+			err:  &OverloadError{Tenant: "acme", Reason: OverloadProjectedWait, ProjectedWait: 2 * time.Second, Deadline: time.Second, QueueLen: 3, QueueCap: 4},
+			want: "serve[tenant acme]: overloaded: projected queue wait 2s exceeds deadline 1s (queue 3/4)",
+			bare: "serve: overloaded: projected queue wait 2s exceeds deadline 1s (queue 3/4)",
+		},
+		{
+			err:  &DeadlineError{Tenant: "acme", Waited: time.Second},
+			want: "serve[tenant acme]: deadline expired after waiting 1s in queue; request shed unexecuted",
+			bare: "serve: deadline expired after waiting 1s in queue; request shed unexecuted",
+		},
+		{
+			err:  &ClosedError{Tenant: "acme", State: StateDraining},
+			want: "serve[tenant acme]: server draining",
+			bare: "serve: server draining",
+		},
+		{
+			err:  &ClosedError{Tenant: "acme", State: StateFailed, Cause: errors.New("boom")},
+			want: "serve[tenant acme]: server failed: boom",
+			bare: "serve: server failed: boom",
+		},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("tenant rendering:\n got %q\nwant %q", got, c.want)
+		}
+	}
+	// Empty tenant must be byte-identical to the pre-tenancy messages.
+	bare := []error{
+		&OverloadError{Reason: OverloadQueueFull, QueueLen: 4, QueueCap: 4},
+		&OverloadError{Reason: OverloadProjectedWait, ProjectedWait: 2 * time.Second, Deadline: time.Second, QueueLen: 3, QueueCap: 4},
+		&DeadlineError{Waited: time.Second},
+		&ClosedError{State: StateDraining},
+		&ClosedError{State: StateFailed, Cause: errors.New("boom")},
+	}
+	for i, err := range bare {
+		if got := err.Error(); got != cases[i].bare {
+			t.Errorf("bare rendering:\n got %q\nwant %q", got, cases[i].bare)
+		}
+	}
+}
+
+// TestTenantStampedByServer proves a tenant-configured server stamps
+// its id onto errors and the degraded report end-to-end.
+func TestTenantStampedByServer(t *testing.T) {
+	sch := schema.MustParse(`table t (v int)`)
+	defs := swapDefs(t, `create rule r1 on t when inserted then delete from t`)
+	s, err := New(sch, defs, "wal", Config{WAL: wal.Options{FS: wal.NewMemFS()}, Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Health().Report.String(); !strings.HasPrefix(got, "tenant: acme\n") {
+		t.Errorf("degraded report does not lead with the tenant id:\n%s", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Submit(context.Background(), Request{SQL: "insert into t values (1)"})
+	var ce *ClosedError
+	if !errors.As(err, &ce) {
+		t.Fatalf("submit after close = %v, want *ClosedError", err)
+	}
+	if ce.Tenant != "acme" || !strings.Contains(ce.Error(), "[tenant acme]") {
+		t.Errorf("closed error not tenant-stamped: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"regexp"
+	"strings"
+
+	"activerules/internal/wal"
+)
+
+// Tenant registry layout. Everything lives under the manager root:
+//
+//	root/tenants/<id>.tenant   — the manifest file (JSON)
+//	root/tenants/<id>/wal/     — the tenant's private WAL directory
+//
+// The registry of record is the set of *.tenant manifest FILES, not
+// the directories: wal.FS's ReadDir contract only promises files (the
+// crash-test MemFS models a flat file namespace), so startup discovery
+// lists root/tenants and attaches every manifest it finds. Manifests
+// are written atomically (tmp file + Sync + Rename + SyncDir) so a
+// crash mid-create or mid-swap leaves either the old manifest or the
+// new one, never a torn hybrid — and recovery then replays the
+// tenant's own WAL from the state the surviving manifest describes.
+
+const (
+	tenantsDir     = "tenants"
+	manifestSuffix = ".tenant"
+)
+
+// idPattern documents the valid tenant-id shape. Ids become path
+// components under the manager root, so the alphabet is locked down
+// hard: no separators, no dots, no traversal.
+const idPattern = `^[a-z0-9][a-z0-9_-]{0,63}$`
+
+var idRE = regexp.MustCompile(idPattern)
+
+// validID reports whether id is an acceptable tenant id.
+func validID(id string) bool { return idRE.MatchString(id) }
+
+// manifest is the durable per-tenant record: the rule-set sources that
+// define the tenant plus any standing swap-quarantine report. The
+// sources are stored verbatim — the manifest is the canonical input to
+// RuleSetHash, so recovery recomputes the same cache key the live
+// manager used.
+type manifest struct {
+	ID     string `json:"id"`
+	Schema string `json:"schema"`
+	Rules  string `json:"rules"`
+	// Quarantine records a swap admitted under the quarantine-on-regress
+	// policy: the tenant is serving the new set in degraded mode and the
+	// report must survive restarts.
+	Quarantine *QuarantineReport `json:"quarantine,omitempty"`
+}
+
+func manifestPath(root, id string) string {
+	return path.Join(root, tenantsDir, id+manifestSuffix)
+}
+
+func walDir(root, id string) string {
+	return path.Join(root, tenantsDir, id, "wal")
+}
+
+// writeManifest atomically persists m.
+func (m *Manager) writeManifest(mf *manifest) error {
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := path.Join(m.root, tenantsDir)
+	tmp := path.Join(dir, mf.ID+manifestSuffix+".tmp")
+	f, err := m.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := m.fs.Rename(tmp, manifestPath(m.root, mf.ID)); err != nil {
+		return err
+	}
+	return m.fs.SyncDir(dir)
+}
+
+// readManifest loads and validates the manifest for id, or returns
+// (nil, nil) if none exists.
+func (m *Manager) readManifest(id string) (*manifest, error) {
+	data, err := m.fs.ReadFile(manifestPath(m.root, id))
+	if err != nil {
+		if wal.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var mf manifest
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("tenant %q: corrupt manifest: %w", id, err)
+	}
+	if mf.ID != id {
+		return nil, fmt.Errorf("tenant %q: manifest names tenant %q", id, mf.ID)
+	}
+	return &mf, nil
+}
+
+// listManifests returns the ids of every tenant manifest under the
+// root, sorted (ReadDir's contract).
+func (m *Manager) listManifests() ([]string, error) {
+	names, err := m.fs.ReadDir(path.Join(m.root, tenantsDir))
+	if err != nil {
+		if wal.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []string
+	for _, name := range names {
+		if strings.HasSuffix(name, manifestSuffix) {
+			ids = append(ids, strings.TrimSuffix(name, manifestSuffix))
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,60 @@
+package activerules
+
+import (
+	"activerules/internal/tenant"
+)
+
+// Multi-tenancy: many independent rule systems (schema + rules + WAL
+// directory) hosted in one process, with a shared analysis cache,
+// analyzer-gated hot swaps, and per-tenant admission quotas. See
+// internal/tenant for the mechanics and DESIGN.md §13 for the
+// soundness argument.
+
+// Re-exported tenancy types.
+type (
+	// TenantManager supervises a fleet of per-tenant servers rooted at
+	// one directory, each tenant recovering from its own WAL.
+	TenantManager = tenant.Manager
+	// TenantConfig configures OpenTenants.
+	TenantConfig = tenant.Config
+	// RuleSetSummary is one shared-analysis-cache entry: the §5–§8
+	// verdicts, the §7 per-table baseline, and the rendered report.
+	RuleSetSummary = tenant.Summary
+	// TenantHealth is a tenant's readiness view plus any standing
+	// swap-quarantine report.
+	TenantHealth = tenant.Health
+	// TenantStats is a tenant's counters view plus the quota fence's
+	// counters and rule-set hash.
+	TenantStats = tenant.Stats
+	// TenantManagerStats aggregates the fleet and the analysis cache.
+	TenantManagerStats = tenant.ManagerStats
+	// SwapQuarantineReport describes a verdict-regressing swap admitted
+	// under the quarantine-on-regress policy.
+	SwapQuarantineReport = tenant.QuarantineReport
+	// SwapTableRisk is one table's row in a SwapQuarantineReport.
+	SwapTableRisk = tenant.TableRisk
+	// TenantNotFoundError, TenantExistsError, TenantIDError,
+	// TenantQuotaError, and SwapRejectedError are the tenancy failure
+	// taxonomy layered over the serving-layer errors.
+	TenantNotFoundError = tenant.NotFoundError
+	TenantExistsError   = tenant.ExistsError
+	TenantIDError       = tenant.IDError
+	TenantQuotaError    = tenant.QuotaError
+	SwapRejectedError   = tenant.SwapRejectedError
+)
+
+// ErrTenantManagerClosed reports an operation on a shut-down manager.
+var ErrTenantManagerClosed = tenant.ErrManagerClosed
+
+// TenantRuleSetHash is the canonical identity of a (schema, rules)
+// source pair — the shared analysis cache's key.
+func TenantRuleSetHash(schemaSrc, rulesSrc string) string {
+	return tenant.RuleSetHash(schemaSrc, rulesSrc)
+}
+
+// OpenTenants attaches (or initializes) a multi-tenant root directory:
+// every tenant manifest found under it is started, each recovering its
+// own last durable point from its own WAL.
+func OpenTenants(root string, cfg TenantConfig) (*TenantManager, error) {
+	return tenant.Open(root, cfg)
+}
