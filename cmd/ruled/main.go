@@ -40,7 +40,24 @@
 //	                 connecting on addr (unsharded mode only)
 //	-follow addr     run as a read-only follower replicating from the
 //	                 ruled -replicate source at addr; serves health and
-//	                 stats, rejects asserts with code "read-only"
+//	                 stats (including replication lag: generation, bytes
+//	                 behind the leader frontier, time since last frame),
+//	                 rejects asserts with code "read-only"
+//	-cluster         automatic-failover mode: run one member of a
+//	                 leader/follower pair that elects its own role,
+//	                 fences deposed leaders durably (WAL epochs), and
+//	                 promotes on lease expiry; requires -replicate (this
+//	                 node's replication listen address) and -peer;
+//	                 excludes -shards, -follow, and -tenants. Asserts
+//	                 sent to the non-leader get code "redirect" with the
+//	                 leader's advertised address; commits the follower
+//	                 never acknowledged get code "unacked"
+//	-peer addr       the cluster peer's replication address
+//	-advertise addr  this node's client address, carried in cluster
+//	                 lease frames for redirects (default: -listen)
+//	-bootstrap       cluster: this node self-elects on a completely
+//	                 fresh start (exactly one member sets it)
+//	-lease d         cluster leadership lease duration (0 = 1s)
 //	-queue-depth n   admission queue bound (default 64)
 //	-deadline d      default per-request deadline (0 = none); requests
 //	                 may override with "deadline_ms"
@@ -75,8 +92,9 @@
 //
 // Every response carries "ok"; failures add "error" and a stable
 // "code": overload | deadline | closed | exec | livelock | maxsteps |
-// cancelled | durability | shard | read-only | quota | swap-rejected |
-// no-tenant | tenant-exists | bad-request.
+// cancelled | durability | shard | read-only | redirect | unacked |
+// quota | swap-rejected | no-tenant | tenant-exists | bad-request.
+// A "redirect" body also carries "leader": the address to resend to.
 //
 // Exit status:
 //
@@ -134,6 +152,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	shards := fs.Int("shards", 0, "engines: one per analysis-proven shard, at most n (0 = unsharded)")
 	replicate := fs.String("replicate", "", "stream the WAL to followers on this address (unsharded only)")
 	follow := fs.String("follow", "", "run as a read-only follower of the source at this address")
+	clusterMode := fs.Bool("cluster", false, "automatic-failover pair member (requires -replicate and -peer)")
+	peer := fs.String("peer", "", "the cluster peer's replication address")
+	advertise := fs.String("advertise", "", "client address carried in cluster lease frames (default: -listen)")
+	bootstrap := fs.Bool("bootstrap", false, "cluster: self-elect on a completely fresh start")
+	lease := fs.Duration("lease", 0, "cluster leadership lease duration (0 = 1s)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue bound (0 = 64)")
 	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown")
@@ -190,8 +213,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	var shutdown func(context.Context) error
 	switch {
 	case *tenants != "":
-		if *shards > 0 || *replicate != "" || *follow != "" {
-			fmt.Fprintln(stderr, "ruled: -tenants excludes -shards, -replicate, and -follow")
+		if *shards > 0 || *replicate != "" || *follow != "" || *clusterMode {
+			fmt.Fprintln(stderr, "ruled: -tenants excludes -shards, -replicate, -follow, and -cluster")
 			return 2
 		}
 		cfg.Engine.Compiled = *compiled
@@ -212,6 +235,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stdout, "ruled: %d tenant(s)\n", len(m.Tenants()))
 		b = tenantBackend{m}
 		shutdown = m.Shutdown
+	case *clusterMode:
+		if *shards > 0 || *follow != "" {
+			fmt.Fprintln(stderr, "ruled: -cluster excludes -shards and -follow")
+			return 2
+		}
+		if *replicate == "" || *peer == "" {
+			fmt.Fprintln(stderr, "ruled: -cluster requires -replicate (this node's replication listen address) and -peer")
+			return 2
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = *listen
+		}
+		peerAddr := *peer
+		node, err := sys.NewClusterNode(activerules.ClusterConfig{
+			Dir:       *walDir,
+			Serve:     cfg,
+			ReplAddr:  *replicate,
+			Peer:      func() string { return peerAddr },
+			Advertise: adv,
+			Bootstrap: *bootstrap,
+			Lease:     *lease,
+			Seed:      *seed,
+		})
+		if err != nil {
+			if errors.Is(err, activerules.ErrUnrecoverableLog) {
+				fmt.Fprintln(stderr, "ruled: unrecoverable write-ahead log:", err)
+				return 7
+			}
+			fmt.Fprintln(stderr, "ruled: cluster:", err)
+			return 9
+		}
+		fmt.Fprintf(stdout, "ruled: cluster member on %s (peer %s)\n", node.ReplAddr(), peerAddr)
+		b = clusterBackend{n: node}
+		shutdown = func(context.Context) error { return node.Close() }
 	case *follow != "":
 		if *shards > 0 || *replicate != "" {
 			fmt.Fprintln(stderr, "ruled: -follow excludes -shards and -replicate")
@@ -485,21 +543,97 @@ func (b followerBackend) healthBody(tenant string) (map[string]any, error) {
 	if err := b.rejectTenant(tenant); err != nil {
 		return nil, err
 	}
-	h := b.f.Health()
+	return followerHealthFields(b.f.Health()), nil
+}
+func (b followerBackend) statsBody(tenant string) (map[string]any, error) {
+	return b.healthBody(tenant)
+}
+
+// followerHealthFields renders a follower's health including its
+// replication lag: the local position, how many bytes it trails the
+// leader's durable frontier, and how long ago the last frame arrived.
+func followerHealthFields(h activerules.FollowerHealth) map[string]any {
 	body := map[string]any{
-		"ok":         true,
-		"state":      h.State,
-		"ready":      h.State == "following",
-		"gen":        h.Gen,
-		"off":        h.Off,
-		"state_hash": h.StateHash,
+		"ok":            true,
+		"state":         h.State,
+		"ready":         h.State == "following",
+		"gen":           h.Gen,
+		"off":           h.Off,
+		"behind":        h.Behind,
+		"last_frame_ms": h.LastFrameAge.Milliseconds(),
+		"state_hash":    h.StateHash,
+	}
+	if h.Epoch > 0 {
+		body["epoch"] = h.Epoch
+	}
+	if h.LeaderAddr != "" {
+		body["leader"] = h.LeaderAddr
 	}
 	if h.LastErr != "" {
 		body["last_error"] = h.LastErr
 	}
+	return body
+}
+
+// clusterBackend serves one member of an automatic-failover pair. Ops
+// work on the leader; a follower (or a suspended leader) answers
+// asserts with code "redirect" carrying the believed leader's address.
+type clusterBackend struct {
+	singleTenant
+	n *activerules.ClusterNode
+}
+
+func (b clusterBackend) assert(ctx context.Context, tenant string, req activerules.ServeRequest) (*activerules.ServeResponse, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
+	return b.n.Submit(ctx, req)
+}
+func (b clusterBackend) checkpoint(ctx context.Context, tenant string) error {
+	if err := b.rejectTenant(tenant); err != nil {
+		return err
+	}
+	return b.n.Checkpoint(ctx)
+}
+func (b clusterBackend) healthBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
+	h := b.n.Health()
+	body := map[string]any{
+		"ok":        true,
+		"role":      h.Role,
+		"epoch":     h.Epoch,
+		"ready":     h.Role == "leader" && !h.Suspended,
+		"failovers": h.Failovers,
+	}
+	if h.Suspended {
+		body["suspended"] = true
+	}
+	if h.Leader != "" {
+		body["leader"] = h.Leader
+	}
+	if h.LastErr != "" {
+		body["last_error"] = h.LastErr
+	}
+	if srv := b.n.Server(); srv != nil {
+		sub := healthFields(srv.Health())
+		delete(sub, "ok")
+		body["serve"] = sub
+	} else if fol := b.n.Follower(); fol != nil {
+		sub := followerHealthFields(fol.Health())
+		delete(sub, "ok")
+		body["replication"] = sub
+	}
 	return body, nil
 }
-func (b followerBackend) statsBody(tenant string) (map[string]any, error) {
+func (b clusterBackend) statsBody(tenant string) (map[string]any, error) {
+	if err := b.rejectTenant(tenant); err != nil {
+		return nil, err
+	}
+	if srv := b.n.Server(); srv != nil {
+		return statsFields(srv.Stats()), nil
+	}
 	return b.healthBody(tenant)
 }
 
@@ -784,9 +918,20 @@ func errorBody(err error) map[string]any {
 	var tnf *activerules.TenantNotFoundError
 	var tex *activerules.TenantExistsError
 	var tid *activerules.TenantIDError
+	var nl *activerules.NotLeaderError
+	var ua *activerules.UnackedError
 	switch {
 	case errors.As(err, &she):
 		code = "shard"
+	case errors.As(err, &nl):
+		// The client's move is to resend to the leader; a redirect body
+		// carries its advertised address when known.
+		code = "redirect"
+	case errors.As(err, &ua):
+		// Durable here, unacknowledged by the follower: the outcome is
+		// indeterminate until the pair settles. Distinct from
+		// "durability" (which means the transaction did not commit).
+		code = "unacked"
 	case errors.Is(err, errReadOnly):
 		code = "read-only"
 	case errors.As(err, &tq):
@@ -820,7 +965,11 @@ func errorBody(err error) map[string]any {
 	case errors.Is(err, activerules.ErrMaxSteps):
 		code = "maxsteps"
 	}
-	return map[string]any{"ok": false, "code": code, "error": err.Error()}
+	body := map[string]any{"ok": false, "code": code, "error": err.Error()}
+	if nl != nil && nl.Leader != "" {
+		body["leader"] = nl.Leader
+	}
+	return body
 }
 
 func jsonValue(v storage.Value) any {

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"activerules/internal/replica"
+)
+
+// responder is the probe listener a node runs while it is NOT the
+// leader. It answers epoch probes (so a peer deciding whether to
+// promote — or whether it is stale — can learn this node's highest
+// observed epoch) and refuses stream handshakes (only a leader's
+// replication source serves those). When the node promotes, the
+// responder is closed and the source takes over the address.
+type responder struct {
+	ln    net.Listener
+	state func() (epoch uint64, lease time.Duration)
+	wrap  func(net.Conn) net.Conn
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newResponder(addr string, state func() (uint64, time.Duration), wrap func(net.Conn) net.Conn) (*responder, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &responder{ln: ln, state: state, wrap: wrap}
+	r.wg.Add(1)
+	go r.accept()
+	return r, nil
+}
+
+func (r *responder) addr() string { return r.ln.Addr().String() }
+
+func (r *responder) accept() {
+	defer r.wg.Done()
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		if r.wrap != nil {
+			c = r.wrap(c)
+		}
+		r.wg.Add(1)
+		go r.answer(c)
+	}
+}
+
+// answer handles one connection: a probe handshake gets a lease frame
+// reporting this node's highest observed epoch and — crucially for
+// cold-start elections — how much of a lease it still believes some
+// leader holds over it (zero: no live leadership anywhere it knows
+// of). Anything else is refused by closing.
+func (r *responder) answer(c net.Conn) {
+	defer r.wg.Done()
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if hs, err := replica.ReadProbe(c); err == nil && hs {
+		epoch, lease := r.state()
+		c.Write(replica.AnswerProbe(epoch, lease, ""))
+	}
+}
+
+func (r *responder) close() {
+	r.once.Do(func() { r.ln.Close() })
+	r.wg.Wait()
+}

@@ -49,11 +49,12 @@ type NetConfig struct {
 
 // netState is the injector's shared, mutex-guarded network domain.
 type netState struct {
-	mu     sync.Mutex
-	cfg    NetConfig
-	rng    *rand.Rand
-	writes int
-	faults int
+	mu          sync.Mutex
+	cfg         NetConfig
+	rng         *rand.Rand
+	writes      int
+	faults      int
+	partitioned bool
 }
 
 // ConfigureNet arms the network fault domain. Call before WrapNetConn.
@@ -90,6 +91,39 @@ func (in *Injector) NetFaults() int {
 	return in.net.faults
 }
 
+// PartitionNet raises or heals a network partition on every connection
+// wrapped by this injector: while partitioned, each write fails and
+// closes its connection — modeling a link that has gone dark in BOTH
+// directions, the symmetric-partition case a failover supervisor must
+// survive without splitting the brain. Dial paths consult
+// NetPartitioned so reconnects fail too until the partition heals.
+// Arms the net domain if ConfigureNet has not run.
+func (in *Injector) PartitionNet(on bool) {
+	in.netMu.Lock()
+	if in.net == nil {
+		in.net = &netState{rng: rand.New(rand.NewSource(0))}
+	}
+	st := in.net
+	in.netMu.Unlock()
+	st.mu.Lock()
+	st.partitioned = on
+	st.mu.Unlock()
+}
+
+// NetPartitioned reports whether a partition raised by PartitionNet is
+// in effect — the predicate an injectable dial hook checks.
+func (in *Injector) NetPartitioned() bool {
+	in.netMu.Lock()
+	st := in.net
+	in.netMu.Unlock()
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.partitioned
+}
+
 // WrapNetConn wraps a connection with the injector's network fault
 // domain; pass the method value as the replication source's WrapConn
 // hook. Connections wrapped before ConfigureNet pass writes through
@@ -122,6 +156,10 @@ func (in *Injector) netCheck(size int) (netAction, int) {
 	defer st.mu.Unlock()
 	st.writes++
 	n := st.writes
+	if st.partitioned {
+		st.faults++
+		return netSever, 0
+	}
 	probabilistic := st.cfg.DropP > 0 && st.rng.Float64() < st.cfg.DropP
 	switch {
 	case st.cfg.SeverAt > 0 && n == st.cfg.SeverAt:

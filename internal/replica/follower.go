@@ -31,6 +31,22 @@ type FollowerConfig struct {
 	Dial func(addr string) (net.Conn, error)
 	// Sleep is the backoff sleep; nil means real time (interruptible).
 	Sleep func(time.Duration)
+
+	// Cluster extensions (internal/cluster) — zero-valued in plain
+	// replication, which then behaves and speaks exactly as before.
+
+	// OnLease is called for every lease frame received, after the
+	// follower has recorded the epoch and leader address. It must not
+	// block the stream.
+	OnLease func(epoch uint64, lease time.Duration, addr string)
+	// Ack makes the follower answer every received frame with an ack
+	// line carrying its durable position and observed epoch — what
+	// backs lease renewal and synchronous commit acknowledgment on the
+	// leader side.
+	Ack bool
+	// Now is the follower's clock for lag bookkeeping; nil means
+	// time.Now. Tests inject a deterministic clock.
+	Now func() time.Time
 }
 
 // FollowerHealth is the follower's readiness view.
@@ -47,6 +63,19 @@ type FollowerHealth struct {
 	StateHash string
 	// LastErr is the most recent stream error, if any.
 	LastErr string
+	// Epoch is the highest leadership epoch observed (from lease frames
+	// or replicated epoch records); 0 outside cluster mode.
+	Epoch uint64
+	// Behind is the replication lag in bytes: the leader's durable
+	// frontier for the current generation, as last reported by the
+	// stream, minus the local durable offset.
+	Behind int64
+	// LastFrameAge is how long ago the last frame of any kind arrived;
+	// 0 before the first frame of the current process.
+	LastFrameAge time.Duration
+	// LeaderAddr is the leader's advertised client address from the
+	// most recent lease frame, if any.
+	LeaderAddr string
 }
 
 // span is a half-open range into the applier's mutation buffer.
@@ -86,6 +115,12 @@ type Follower struct {
 	closed    bool
 	lastErr   error
 
+	// cluster state (guarded by mu)
+	obsEpoch   uint64    // highest epoch seen in leases or log records
+	frontier   int64     // leader's durable frontier for gen, per stream
+	lastFrame  time.Time // arrival of the most recent frame
+	leaderAddr string    // leader's advertised client address
+
 	// applier state (guarded by mu)
 	abuf         []byte       // partial record bytes
 	first        bool         // next record must be the snapshot marker
@@ -107,6 +142,9 @@ func NewFollower(sch *schema.Schema, dir, addr string, cfg FollowerConfig) (*Fol
 		cfg.Dial = func(a string) (net.Conn, error) {
 			return net.DialTimeout("tcp", a, 5*time.Second)
 		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
 	}
 	f := &Follower{sch: sch, dir: dir, addr: addr, cfg: cfg, fs: fs}
 	if err := fs.MkdirAll(dir); err != nil {
@@ -228,7 +266,7 @@ func (f *Follower) setConnected(on bool, err error) {
 // connection.
 func (f *Follower) stream(conn net.Conn) error {
 	f.mu.Lock()
-	hs := handshake{Gen: f.gen, Off: f.off, CRC: f.crc}
+	hs := handshake{Gen: f.gen, Off: f.off, CRC: f.crc, Epoch: f.obsEpoch}
 	f.mu.Unlock()
 	if err := writeHandshake(conn, hs); err != nil {
 		return err
@@ -248,8 +286,19 @@ func (f *Follower) stream(conn net.Conn) error {
 		if err != nil {
 			return err
 		}
+		f.mu.Lock()
+		f.lastFrame = f.cfg.Now()
+		f.mu.Unlock()
 		if err := f.handleFrame(fr); err != nil {
 			return err
+		}
+		if f.cfg.Ack {
+			f.mu.Lock()
+			ack := handshake{Gen: f.gen, Off: f.off, Epoch: f.obsEpoch}
+			f.mu.Unlock()
+			if err := writeHandshake(conn, ack); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -266,6 +315,14 @@ func (f *Follower) handleFrame(fr frame) error {
 	case frameChunk:
 		f.mu.Lock()
 		defer f.mu.Unlock()
+		if fr.gen == f.gen {
+			// Every chunk (keepalives included: their offset IS the
+			// leader's stream position) reveals the leader frontier —
+			// the quantity replication lag is measured against.
+			if fe := fr.off + int64(len(fr.payload)); fe > f.frontier {
+				f.frontier = fe
+			}
+		}
 		switch {
 		case fr.gen != f.gen:
 			return fmt.Errorf("replica: chunk for gen %d, local gen %d", fr.gen, f.gen)
@@ -287,6 +344,21 @@ func (f *Follower) handleFrame(fr frame) error {
 		f.off += int64(len(fr.payload))
 		f.crc = crc32.Update(f.crc, crcTable, fr.payload)
 		return f.feed(fr.payload)
+	case frameLease:
+		f.mu.Lock()
+		if fr.epoch < f.obsEpoch {
+			obs := f.obsEpoch
+			f.mu.Unlock()
+			return fmt.Errorf("replica: lease for stale epoch %d (observed %d)", fr.epoch, obs)
+		}
+		f.obsEpoch = fr.epoch
+		f.leaderAddr = string(fr.payload)
+		hook := f.cfg.OnLease
+		f.mu.Unlock()
+		if hook != nil {
+			hook(fr.epoch, fr.lease, string(fr.payload))
+		}
+		return nil
 	default:
 		return fmt.Errorf("replica: unhandled frame kind 0x%02x", fr.kind)
 	}
@@ -335,6 +407,7 @@ func (f *Follower) reset(gen uint64, payload []byte) error {
 	}
 	f.logf = h
 	f.db, f.gen, f.off, f.crc = db, gen, 0, 0
+	f.frontier = 0
 	f.resetApplier()
 	if oldGen > 0 && oldGen != gen {
 		_ = f.fs.Remove(join(f.dir, logName(oldGen)))
@@ -391,6 +464,14 @@ func (f *Follower) feed(data []byte) error {
 		switch rec.Kind {
 		case wal.RecSnapshot:
 			return fmt.Errorf("replica: unexpected mid-log snapshot marker")
+		case wal.RecEpoch:
+			// Control record: a leadership epoch replicated through the
+			// log. No mutation bookkeeping — just track the maximum, so
+			// a restarted follower (or a demoted ex-leader re-feeding
+			// its own fenced log) still knows the epochs it has seen.
+			if rec.Epoch > f.obsEpoch {
+				f.obsEpoch = rec.Epoch
+			}
 		case wal.RecInsert, wal.RecDelete, wal.RecUpdate:
 			f.muts = append(f.muts, rec)
 		case wal.RecCommit:
@@ -457,7 +538,32 @@ func (f *Follower) Health() FollowerHealth {
 	if f.lastErr != nil {
 		h.LastErr = f.lastErr.Error()
 	}
+	h.Epoch = f.obsEpoch
+	if f.frontier > f.off {
+		h.Behind = f.frontier - f.off
+	}
+	if !f.lastFrame.IsZero() {
+		h.LastFrameAge = f.cfg.Now().Sub(f.lastFrame)
+	}
+	h.LeaderAddr = f.leaderAddr
 	return h
+}
+
+// Epoch returns the highest leadership epoch the follower has observed
+// — in lease frames or in epoch records replicated through the log. A
+// promoting supervisor claims Epoch()+1.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.obsEpoch
+}
+
+// LeaderAddr returns the leader's advertised client address from the
+// most recent lease frame ("" before the first lease).
+func (f *Follower) LeaderAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaderAddr
 }
 
 // Close stops streaming and releases the local log handle. Idempotent.

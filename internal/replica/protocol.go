@@ -13,8 +13,9 @@
 // never saw, then overwrote it) and answers with a stream of binary
 // frames:
 //
-//	snapshot 'S' | u64 gen | u32 len | u32 crc | payload
-//	chunk    'C' | u64 gen | u64 off | u32 len | u32 crc | payload
+//	snapshot 'S' | u64 gen   | u32 len | u32 crc | payload
+//	chunk    'C' | u64 gen   | u64 off | u32 len | u32 crc | payload
+//	lease    'L' | u64 epoch | u32 ms  | u32 len | u32 crc | addr
 //
 // A snapshot frame resets the follower to the enclosed snapshot (empty
 // payload: a fresh database at the given generation) and restarts its
@@ -23,6 +24,20 @@
 // frame is written with a single conn.Write, which is what lets the
 // network fault injector (internal/faultinject) drop, duplicate,
 // truncate, or delay whole frames deterministically.
+//
+// Cluster extensions (internal/cluster; all absent in plain
+// replication, which stays byte-identical to its pre-cluster wire
+// form). The handshake carries the follower's highest observed epoch —
+// a source seeing a HIGHER epoch than its own leader's knows that
+// leader is deposed and must fence. A handshake with probe=true asks
+// for a single lease frame and no stream: the liveness/epoch probe a
+// supervisor aims at its peer. Lease frames grant/renew a leadership
+// lease for the given epoch and duration, piggybacked on the
+// chunk/keepalive stream; the payload is the leader's advertised client
+// address (where a follower redirects clients). The follower answers
+// frames with ack lines — the same JSON line shape as the handshake —
+// reporting its durable position, which backs both lease renewal on the
+// leader side and synchronous commit acknowledgment.
 //
 // Every fault collapses to reconnect: a dropped frame surfaces as an
 // offset gap, a torn frame as a CRC or framing error, a severed
@@ -38,11 +53,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
+	"time"
 )
 
 const (
 	frameSnapshot = 'S'
 	frameChunk    = 'C'
+	frameLease    = 'L'
 
 	// maxFramePayload bounds a frame a follower will accept; beyond it
 	// the stream is considered corrupt (a torn frame whose length field
@@ -58,11 +76,17 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // handshake is the follower's opening message: the position (and
 // content CRC) of the log prefix it already holds, which the leader
 // either extends or overrides with a snapshot. Gen 0 means "no local
-// state — send a snapshot".
+// state — send a snapshot". Epoch is the highest leadership epoch the
+// sender has observed (omitted when 0, keeping the pre-cluster wire
+// form); Probe asks for one lease frame instead of a stream. The same
+// line shape doubles as the follower's ack message after the
+// handshake: gen/off are then its durable position.
 type handshake struct {
-	Gen uint64 `json:"gen"`
-	Off int64  `json:"off"`
-	CRC uint32 `json:"crc"`
+	Gen   uint64 `json:"gen"`
+	Off   int64  `json:"off"`
+	CRC   uint32 `json:"crc"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Probe bool   `json:"probe,omitempty"`
 }
 
 func writeHandshake(w io.Writer, hs handshake) error {
@@ -113,12 +137,75 @@ func chunkFrame(gen uint64, off int64, payload []byte) []byte {
 	return append(b, payload...)
 }
 
+// leaseFrame builds an 'L' frame granting (or renewing) a leadership
+// lease: the leader's epoch, the lease duration in milliseconds, and
+// the leader's advertised client address as the payload.
+func leaseFrame(epoch uint64, lease time.Duration, addr string) []byte {
+	payload := []byte(addr)
+	b := make([]byte, 0, 1+8+4+4+4+len(payload))
+	b = append(b, frameLease)
+	b = binary.BigEndian.AppendUint64(b, epoch)
+	b = binary.BigEndian.AppendUint32(b, uint32(lease/time.Millisecond))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
+	return append(b, payload...)
+}
+
 // frame is one decoded leader-to-follower message.
 type frame struct {
 	kind    byte
 	gen     uint64
-	off     int64 // chunk only
+	off     int64         // chunk only
+	epoch   uint64        // lease only
+	lease   time.Duration // lease only
 	payload []byte
+}
+
+// ProbeResult is a cluster source's answer to a liveness/epoch probe.
+type ProbeResult struct {
+	Epoch uint64        // the probed leader's current epoch
+	Lease time.Duration // its lease duration
+	Addr  string        // its advertised client address
+}
+
+// Probe performs a liveness/epoch probe over an established
+// connection: send a probe handshake carrying the caller's observed
+// epoch, then read the single lease frame a cluster source answers
+// with. The caller dials (so fault-injection dial hooks apply) and
+// closes the connection.
+func Probe(conn net.Conn, epoch uint64, timeout time.Duration) (ProbeResult, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := writeHandshake(conn, handshake{Probe: true, Epoch: epoch}); err != nil {
+		return ProbeResult{}, err
+	}
+	fr, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	if fr.kind != frameLease {
+		return ProbeResult{}, fmt.Errorf("replica: probe answered with frame 0x%02x, want lease", fr.kind)
+	}
+	return ProbeResult{Epoch: fr.epoch, Lease: fr.lease, Addr: string(fr.payload)}, nil
+}
+
+// ReadProbe reads one handshake line from c and reports whether it is
+// a probe. A cluster node's probe responder — which answers epoch
+// queries while the node is not leading, and so is not a full
+// replication source — uses it to triage incoming connections.
+func ReadProbe(c net.Conn) (bool, error) {
+	hs, err := readHandshake(bufio.NewReader(c))
+	if err != nil {
+		return false, err
+	}
+	return hs.Probe, nil
+}
+
+// AnswerProbe builds the lease frame a probe answer consists of. A
+// zero lease means "not leading — epoch report only".
+func AnswerProbe(epoch uint64, lease time.Duration, addr string) []byte {
+	return leaseFrame(epoch, lease, addr)
 }
 
 // readFrame reads and CRC-verifies one frame. Any framing damage — an
@@ -138,17 +225,26 @@ func readFrame(r *bufio.Reader) (frame, error) {
 		want = 16 // gen + len + crc
 	case frameChunk:
 		want = 24 // gen + off + len + crc
+	case frameLease:
+		want = 20 // epoch + ms + len + crc
 	default:
 		return frame{}, fmt.Errorf("replica: unknown frame kind 0x%02x", kind)
 	}
 	if _, err := io.ReadFull(r, hdr[:want]); err != nil {
 		return frame{}, err
 	}
-	fr.gen = binary.BigEndian.Uint64(hdr[:8])
-	n = 8
-	if kind == frameChunk {
+	switch kind {
+	case frameLease:
+		fr.epoch = binary.BigEndian.Uint64(hdr[:8])
+		fr.lease = time.Duration(binary.BigEndian.Uint32(hdr[8:12])) * time.Millisecond
+		n = 12
+	case frameChunk:
+		fr.gen = binary.BigEndian.Uint64(hdr[:8])
 		fr.off = int64(binary.BigEndian.Uint64(hdr[8:16]))
 		n = 16
+	default:
+		fr.gen = binary.BigEndian.Uint64(hdr[:8])
+		n = 8
 	}
 	plen := binary.BigEndian.Uint32(hdr[n : n+4])
 	sum := binary.BigEndian.Uint32(hdr[n+4 : n+8])

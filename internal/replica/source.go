@@ -38,6 +38,29 @@ type SourceConfig struct {
 	// WrapConn, when non-nil, wraps every accepted connection — the
 	// hook the network fault injector uses.
 	WrapConn func(net.Conn) net.Conn
+
+	// Cluster hooks (internal/cluster). All nil/zero in plain
+	// replication, which then emits exactly the pre-cluster frame
+	// sequence — the frame-counting fault injector depends on that.
+
+	// Epoch, when non-nil, enables cluster mode: it returns the
+	// leader's current epoch, stamped into lease frames and compared
+	// against epochs peers present.
+	Epoch func() uint64
+	// ObserveEpoch is called when a peer presents a strictly higher
+	// epoch than Epoch() — proof this leader has been deposed. The hook
+	// must not block (the supervisor fences and steps down from its own
+	// goroutine, never from the stream's).
+	ObserveEpoch func(epoch uint64)
+	// Lease is the leadership lease duration granted to followers in
+	// cluster mode; leases are renewed every Lease/3.
+	Lease time.Duration
+	// Advertise is the leader's client-facing address carried in lease
+	// frames, for follower-side redirects.
+	Advertise string
+	// OnAck is called with each follower ack's durable position — what
+	// backs synchronous commit acknowledgment and lease-loss detection.
+	OnAck func(gen uint64, off int64)
 }
 
 func (c SourceConfig) withDefaults() SourceConfig {
@@ -173,6 +196,31 @@ func (s *Source) serveConn(c net.Conn) {
 	}
 	c.SetReadDeadline(time.Time{})
 
+	cluster := s.cfg.Epoch != nil
+	if cluster {
+		cur := s.cfg.Epoch()
+		if hs.Epoch > cur {
+			// The peer has observed a later leadership epoch: this
+			// leader is deposed. Report it (a probe still gets its
+			// answer, so the new leader learns our stale epoch) and
+			// refuse the stream; the supervisor fences.
+			if s.cfg.ObserveEpoch != nil {
+				s.cfg.ObserveEpoch(hs.Epoch)
+			}
+			if hs.Probe {
+				c.Write(leaseFrame(cur, s.cfg.Lease, s.cfg.Advertise))
+			}
+			return
+		}
+		if hs.Probe {
+			// Liveness/epoch probe: one lease frame, no stream.
+			c.Write(leaseFrame(cur, s.cfg.Lease, s.cfg.Advertise))
+			return
+		}
+	} else if hs.Probe {
+		return // probes are meaningless outside cluster mode
+	}
+
 	gen, off := hs.Gen, hs.Off
 	if !s.resumable(hs) {
 		gen, off, err = s.sendSnapshot(c)
@@ -180,12 +228,30 @@ func (s *Source) serveConn(c net.Conn) {
 			return
 		}
 	}
+	var nextLease time.Time
+	if cluster && s.cfg.Lease > 0 {
+		if _, err := c.Write(leaseFrame(s.cfg.Epoch(), s.cfg.Lease, s.cfg.Advertise)); err != nil {
+			return
+		}
+		nextLease = time.Now().Add(s.cfg.Lease / 3)
+		// The ack reader is the only post-handshake reader of the
+		// connection; it closes the conn on any fault, which surfaces
+		// here as a write error.
+		s.wg.Add(1)
+		go s.readAcks(c, br)
+	}
 	idle := 0
 	for {
 		select {
 		case <-s.done:
 			return
 		default:
+		}
+		if !nextLease.IsZero() && time.Now().After(nextLease) {
+			if _, err := c.Write(leaseFrame(s.cfg.Epoch(), s.cfg.Lease, s.cfg.Advertise)); err != nil {
+				return
+			}
+			nextLease = time.Now().Add(s.cfg.Lease / 3)
 		}
 		data, err := s.leader.ReadLog(gen, off, s.cfg.Chunk)
 		if err != nil {
@@ -220,6 +286,30 @@ func (s *Source) serveConn(c net.Conn) {
 			return
 		}
 		off += int64(len(data))
+	}
+}
+
+// readAcks consumes the follower's ack lines on a cluster stream,
+// forwarding durable positions to OnAck and watching for a higher
+// epoch (a follower that has promoted or seen a newer leader). Any
+// failure closes the connection, ending the write side too.
+func (s *Source) readAcks(c net.Conn, br *bufio.Reader) {
+	defer s.wg.Done()
+	defer c.Close()
+	for {
+		ack, err := readHandshake(br)
+		if err != nil {
+			return
+		}
+		if ack.Epoch > s.cfg.Epoch() {
+			if s.cfg.ObserveEpoch != nil {
+				s.cfg.ObserveEpoch(ack.Epoch)
+			}
+			return
+		}
+		if s.cfg.OnAck != nil {
+			s.cfg.OnAck(ack.Gen, ack.Off)
+		}
 	}
 }
 

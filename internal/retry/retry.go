@@ -12,9 +12,16 @@ package retry
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"time"
 )
+
+// ErrBudget reports that a schedule's MaxElapsed budget is exhausted:
+// the next wait would push the cumulative emitted delay past the cap.
+// Supervised loops (a cluster node's reconnect/promotion machinery)
+// treat it as "stop retrying and escalate", distinct from cancellation.
+var ErrBudget = errors.New("retry: elapsed budget exhausted")
 
 // Policy shapes a backoff schedule.
 type Policy struct {
@@ -33,6 +40,14 @@ type Policy struct {
 	// MaxAttempts bounds the total number of operation invocations Do
 	// performs (first try included); values below 1 mean 3.
 	MaxAttempts int
+	// MaxElapsed bounds the CUMULATIVE delay a schedule may emit since
+	// its creation (or last Reset): once the next delay would push the
+	// running total past it, Wait refuses with ErrBudget instead of
+	// sleeping, and Do stops retrying. The accounting sums the emitted
+	// delays themselves — not wall-clock time — so the cutoff is a pure
+	// function of policy and seed, deterministic in tests. 0 (the
+	// default) means unbounded: a plain follower retries until closed.
+	MaxElapsed time.Duration
 }
 
 func (p Policy) withDefaults() Policy {
@@ -64,6 +79,7 @@ type Schedule struct {
 	seed    int64
 	rng     *rand.Rand
 	attempt int
+	elapsed time.Duration // sum of delays emitted since New/Reset
 }
 
 // New returns a schedule at attempt zero. Two schedules built from the
@@ -89,8 +105,13 @@ func (s *Schedule) Next() time.Duration {
 	if s.pol.Jitter > 0 {
 		d = d*(1-s.pol.Jitter) + s.rng.Float64()*d*s.pol.Jitter
 	}
+	s.elapsed += time.Duration(d)
 	return time.Duration(d)
 }
+
+// Elapsed returns the cumulative delay emitted since New or the last
+// Reset — the quantity Policy.MaxElapsed bounds.
+func (s *Schedule) Elapsed() time.Duration { return s.elapsed }
 
 // Attempt returns how many delays have been emitted since the last
 // Reset.
@@ -104,8 +125,17 @@ func (s *Schedule) Attempt() int { return s.attempt }
 // time in tests) runs to completion and the context is re-checked after
 // it, so a recorder that cancels the context "mid-sleep" still sees the
 // cancellation honored at the attempt boundary.
+// When the policy sets MaxElapsed and the next delay would push the
+// cumulative emitted delay past it, Wait returns ErrBudget without
+// sleeping.
 func (s *Schedule) Wait(ctx context.Context, sleep func(time.Duration)) error {
+	if s.pol.MaxElapsed > 0 && s.elapsed >= s.pol.MaxElapsed {
+		return ErrBudget
+	}
 	d := s.Next()
+	if s.pol.MaxElapsed > 0 && s.elapsed > s.pol.MaxElapsed {
+		return ErrBudget
+	}
 	if cerr := ctx.Err(); cerr != nil {
 		return cerr
 	}
@@ -128,6 +158,7 @@ func (s *Schedule) Wait(ctx context.Context, sleep func(time.Duration)) error {
 // identical delay sequence.
 func (s *Schedule) Reset() {
 	s.attempt = 0
+	s.elapsed = 0
 	s.rng = rand.New(rand.NewSource(s.seed))
 }
 
@@ -148,6 +179,11 @@ func Do(ctx context.Context, pol Policy, seed int64, sleep func(time.Duration), 
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			if cerr := sched.Wait(ctx, sleep); cerr != nil {
+				if errors.Is(cerr, ErrBudget) {
+					// The elapsed budget ran out between attempts: the
+					// operation's own last failure is the useful error.
+					return err
+				}
 				return cerr
 			}
 		}

@@ -191,3 +191,90 @@ func TestScheduleWaitCancelled(t *testing.T) {
 		t.Fatalf("Attempt = %d, want 1 (the delay was consumed)", s.Attempt())
 	}
 }
+
+// TestScheduleMaxElapsedDeterministic pins the MaxElapsed cutoff as a
+// pure function of (policy, seed): the budget is charged against the
+// EMITTED delays, never wall-clock time, so the exact attempt at which
+// Wait starts refusing with ErrBudget is reproducible.
+func TestScheduleMaxElapsedDeterministic(t *testing.T) {
+	pol := Policy{
+		Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: 0, MaxElapsed: 65 * time.Millisecond,
+	}
+	// Unjittered delays: 10, 20, 40, 80, ... cumulative 10, 30, 70.
+	// The third wait (cumulative 70ms) exceeds the 65ms budget.
+	s := New(pol, 3)
+	noSleep := func(time.Duration) {}
+	for i := 0; i < 2; i++ {
+		if err := s.Wait(context.Background(), noSleep); err != nil {
+			t.Fatalf("wait %d = %v, want nil", i, err)
+		}
+	}
+	if err := s.Wait(context.Background(), noSleep); !errors.Is(err, ErrBudget) {
+		t.Fatalf("third wait = %v, want ErrBudget", err)
+	}
+	if got := s.Elapsed(); got != 70*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 70ms", got)
+	}
+	// Exhaustion is sticky until Reset, which restores the full budget
+	// and the identical delay stream.
+	if err := s.Wait(context.Background(), noSleep); !errors.Is(err, ErrBudget) {
+		t.Fatal("budget exhaustion must be sticky")
+	}
+	s.Reset()
+	if err := s.Wait(context.Background(), noSleep); err != nil {
+		t.Fatalf("wait after Reset = %v, want nil", err)
+	}
+	if got := s.Elapsed(); got != 10*time.Millisecond {
+		t.Errorf("Elapsed after Reset+wait = %v, want 10ms", got)
+	}
+
+	// With jitter, two same-seed schedules exhaust at the same attempt.
+	jpol := pol
+	jpol.Jitter = 0.5
+	a, b := New(jpol, 99), New(jpol, 99)
+	for i := 0; i < 8; i++ {
+		ea := a.Wait(context.Background(), noSleep)
+		eb := b.Wait(context.Background(), noSleep)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("wait %d: same-seed schedules disagree: %v vs %v", i, ea, eb)
+		}
+	}
+}
+
+// TestDoMaxElapsed: Do stops retrying when the budget runs out and
+// returns the operation's last error — the failure that matters to the
+// supervised loop — not the budget sentinel.
+func TestDoMaxElapsed(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	var slept time.Duration
+	err := Do(context.Background(),
+		Policy{Initial: 10 * time.Millisecond, Multiplier: 2, Jitter: 0,
+			MaxAttempts: 100, MaxElapsed: 35 * time.Millisecond},
+		1, func(d time.Duration) { slept += d }, nil,
+		func() error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want boom", err)
+	}
+	// Delays 10, 20 fit the 35ms budget; the 40ms third delay does not:
+	// exactly 3 attempts, and nothing ever slept past the budget.
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if slept > 35*time.Millisecond {
+		t.Fatalf("slept %v, past the 35ms budget", slept)
+	}
+}
+
+// TestDoMaxElapsedUnsetUnbounded guards the default: a zero MaxElapsed
+// must not bound anything (the plain follower retries until closed).
+func TestDoMaxElapsedUnsetUnbounded(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 6, Jitter: 0}, 1,
+		func(time.Duration) {}, nil,
+		func() error { calls++; return errors.New("x") })
+	if err == nil || calls != 6 {
+		t.Fatalf("calls = %d (want 6), err = %v", calls, err)
+	}
+}

@@ -38,3 +38,20 @@ func (s *Server) ReadLog(gen uint64, off int64, max int) ([]byte, error) {
 func (s *Server) ReadSnapshot() (data []byte, gen uint64, ok bool, err error) {
 	return s.replDD().ReadSnapshot()
 }
+
+// Epoch returns the leadership epoch durably stamped on the server's
+// WAL (0 outside cluster mode).
+func (s *Server) Epoch() uint64 {
+	return s.replDD().Epoch()
+}
+
+// RequestFence asks the WAL to fence itself at the next journal
+// boundary: a durable epoch record is written BEFORE the boundary, so
+// no transaction extends the deposed history past it. Safe from any
+// goroutine; the fence surfaces to the worker as a sticky
+// wal.ErrFenced, which reopen treats as terminal. A deposing
+// supervisor follows with Shutdown — a fence still pending at close is
+// made durable then.
+func (s *Server) RequestFence(epoch uint64) {
+	s.replDD().RequestFence(epoch)
+}

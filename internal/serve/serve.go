@@ -858,12 +858,17 @@ func (s *Server) doCheckpoint() error {
 // uncommitted tail, landing exactly on the last durable point), and
 // rebuild the engine over the recovered state. An unrecoverable
 // directory — or exhausting the retry budget — fails the server.
+// A fence is equally terminal: a deposed leader must fail, not
+// silently reopen past the epoch that deposed it (Config.WAL.Epoch
+// pins the server's claim, so Open itself refuses the stale epoch).
 // Reopen is server-level repair, so it deliberately ignores the
 // triggering request's context.
 func (s *Server) reopen() error {
 	_ = s.dd.Close()
 	err := retry.Do(context.Background(), s.cfg.DurableRetry, s.cfg.Seed^reopenSeedSalt, s.sleep,
-		func(err error) bool { return !errors.Is(err, wal.ErrUnrecoverable) },
+		func(err error) bool {
+			return !errors.Is(err, wal.ErrUnrecoverable) && !errors.Is(err, wal.ErrFenced)
+		},
 		func() error {
 			d, err := wal.Open(s.dir, s.sch, s.cfg.WAL)
 			if err != nil {

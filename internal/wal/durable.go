@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"activerules/internal/schema"
 	"activerules/internal/storage"
@@ -52,6 +53,10 @@ type RecoveryInfo struct {
 	// TruncatedBytes is how many trailing log bytes were cut at the
 	// first torn or corrupt record (0 for a clean log).
 	TruncatedBytes int64
+	// Epoch is the highest leadership epoch recorded in the log (0 when
+	// the directory has never seen an epoch record — the single-node
+	// case). A promoting follower reads this to claim Epoch+1.
+	Epoch uint64
 }
 
 // DurableDB binds an in-memory database to a WAL directory. It is both
@@ -76,6 +81,16 @@ type DurableDB struct {
 	posMu sync.Mutex
 	gen   uint64
 	log   *Log
+
+	// epoch is the highest epoch durably stamped into this directory;
+	// pendingFence is the highest epoch observed from outside (a
+	// replication handshake or lease carrying a newer leader's claim).
+	// Both are atomics because observation arrives on network
+	// goroutines while the worker owns all appends: the worker applies
+	// a pending fence at the next journal boundary, before any record
+	// that boundary would make durable.
+	epoch        atomic.Uint64
+	pendingFence atomic.Uint64
 }
 
 // Open recovers the durable state in dir (creating it if needed) and
@@ -92,6 +107,12 @@ func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
 	rec, err := recoverState(fsys, dir, sch)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Epoch != 0 && opts.Epoch < rec.info.Epoch {
+		// The directory has been claimed by a newer leader; opening at
+		// a stale epoch would let a deposed leader extend a forked
+		// history. Refuse durably-informed.
+		return nil, &FencedError{Epoch: rec.info.Epoch}
 	}
 	logPath := join(dir, logName(rec.info.Gen))
 	if rec.info.TruncatedBytes > 0 || (rec.needMarker && rec.logLen > 0) {
@@ -111,6 +132,13 @@ func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
 	}
 	// Every open starts a new engine transaction.
 	l.append(Record{Kind: RecBegin})
+	if opts.Epoch > rec.info.Epoch {
+		// Stamp the claimed epoch: from this record on, any observer of
+		// the log — recovery, a follower, a rival leader's handshake —
+		// knows this epoch exists and anything lower is fenced out.
+		rec.info.Epoch = opts.Epoch
+		l.append(Record{Kind: RecEpoch, Epoch: opts.Epoch})
+	}
 	l.flush()
 	if opts.Sync != SyncNever {
 		l.sync()
@@ -126,6 +154,7 @@ func Open(dir string, sch *schema.Schema, opts Options) (*DurableDB, error) {
 		return nil, err
 	}
 	d := &DurableDB{fsys: fsys, dir: dir, opts: opts, sch: sch, gen: rec.info.Gen, log: l, st: rec.db, info: rec.info}
+	d.epoch.Store(rec.info.Epoch)
 	d.removeStale()
 	return d, nil
 }
@@ -230,14 +259,79 @@ func (d *DurableDB) ReadSnapshot() (data []byte, gen uint64, ok bool, err error)
 // Err returns the log's sticky error, if any.
 func (d *DurableDB) Err() error { return d.log.Err() }
 
+// Epoch returns the directory's durable leadership epoch: the highest
+// epoch stamped into the log (0 when epochs have never been used).
+// Safe for concurrent use.
+func (d *DurableDB) Epoch() uint64 { return d.epoch.Load() }
+
+// RequestFence records that a higher epoch has been observed (from a
+// replication handshake or a peer's lease). Safe to call from any
+// goroutine: the worker applies the fence durably at its next journal
+// boundary — BEFORE that boundary's record — so no durable point can
+// postdate the observation. Requests at or below the current epoch are
+// no-ops. Use Fence for the synchronous, worker-context form.
+func (d *DurableDB) RequestFence(epoch uint64) {
+	for {
+		cur := d.pendingFence.Load()
+		if epoch <= cur || d.pendingFence.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// Fence durably stamps an observed higher epoch and puts the log into
+// the fenced state (sticky ErrFenced on every later append). Worker
+// context only — it appends to the log. Returns nil when the fence is
+// durably applied (or epoch does not exceed the current one); an I/O
+// failure while writing the fence surfaces as the log's sticky error,
+// which refuses appends just as hard.
+func (d *DurableDB) Fence(epoch uint64) error {
+	d.RequestFence(epoch)
+	if err := d.applyFence(); err != nil && !errors.Is(err, ErrFenced) {
+		return err
+	}
+	return nil
+}
+
+// applyFence applies any pending observed epoch: it durably writes the
+// epoch record and fences the log. It returns the *FencedError to
+// surface at the journal boundary that applied it (nil when no fence
+// is pending).
+func (d *DurableDB) applyFence() error {
+	p := d.pendingFence.Load()
+	if p <= d.epoch.Load() {
+		return nil
+	}
+	if err := d.log.Fence(p); err != nil {
+		return err
+	}
+	d.epoch.Store(p)
+	return &FencedError{Epoch: p}
+}
+
 // Begin implements the engine Journal interface.
-func (d *DurableDB) Begin() error { return d.log.Begin() }
+func (d *DurableDB) Begin() error {
+	if err := d.applyFence(); err != nil {
+		return err
+	}
+	return d.log.Begin()
+}
 
 // Commit implements the engine Journal interface.
-func (d *DurableDB) Commit() error { return d.log.Commit() }
+func (d *DurableDB) Commit() error {
+	if err := d.applyFence(); err != nil {
+		return err
+	}
+	return d.log.Commit()
+}
 
 // Abort implements the engine Journal interface.
-func (d *DurableDB) Abort() error { return d.log.Abort() }
+func (d *DurableDB) Abort() error {
+	if err := d.applyFence(); err != nil {
+		return err
+	}
+	return d.log.Abort()
+}
 
 // ObserveInsert implements storage.Observer.
 func (d *DurableDB) ObserveInsert(table string, id storage.TupleID, vals []storage.Value) {
@@ -257,7 +351,18 @@ func (d *DurableDB) ObserveUpdate(table string, id storage.TupleID, col string, 
 // Close flushes and syncs the log and releases the file handle. Close
 // is idempotent — a second Close returns nil — and terminal: journal
 // or observer writes after Close fail with ErrClosed.
-func (d *DurableDB) Close() error { return d.log.close() }
+func (d *DurableDB) Close() error {
+	// A requested-but-unapplied fence must not die with the handle: make
+	// it durable now, so a deposed leader that closes without reaching
+	// another journal boundary still refuses resurrection at its old
+	// epoch. The resulting sticky fence error is orderly (close returns
+	// nil for it).
+	if err := d.applyFence(); err != nil && !errors.Is(err, ErrFenced) {
+		d.log.close()
+		return err
+	}
+	return d.log.close()
+}
 
 // Checkpoint rotates to a new generation: it makes the current log
 // durable, atomically installs a snapshot of cur (which must be the
@@ -270,6 +375,9 @@ func (d *DurableDB) Close() error { return d.log.close() }
 // log: later commits must not report durability that recovery — which
 // will prefer the new snapshot and ignore the old log — cannot honor.
 func (d *DurableDB) Checkpoint(cur *storage.DB) error {
+	if err := d.applyFence(); err != nil {
+		return err
+	}
 	if err := d.log.Err(); err != nil {
 		return err
 	}
@@ -296,6 +404,11 @@ func (d *DurableDB) Checkpoint(cur *storage.DB) error {
 	nl := &Log{fs: d.fsys, path: join(d.dir, logName(newGen)), f: nf, opts: d.opts}
 	nl.append(Record{Kind: RecSnapshot, Gen: newGen, FP: cur.Fingerprint()})
 	nl.append(Record{Kind: RecBegin})
+	if e := d.epoch.Load(); e > 0 {
+		// The epoch must survive rotation: recovery only reads the
+		// active generation's log, so the new log re-stamps it.
+		nl.append(Record{Kind: RecEpoch, Epoch: e})
+	}
 	nl.flush()
 	if d.opts.Sync != SyncNever {
 		nl.sync()
@@ -393,6 +506,7 @@ func recoverState(fsys FS, dir string, sch *schema.Schema) (*recovered, error) {
 	r.info.Aborts = sc.aborts
 	r.info.TailDiscarded = sc.discarded
 	r.info.TruncatedBytes = int64(len(data) - sc.goodLen)
+	r.info.Epoch = sc.epoch
 	for _, sp := range sc.ranges {
 		for _, rec := range sc.muts[sp.start:sp.end] {
 			if err := applyRecord(r.db, rec); err != nil {
@@ -440,6 +554,7 @@ type logScan struct {
 	aborts    int
 	discarded int
 	goodLen   int
+	epoch     uint64 // highest epoch record seen
 }
 
 // scanLog walks the framed records of data, stopping (and marking the
@@ -502,6 +617,15 @@ func scanLog(data []byte, wantGen uint64, wantFP [32]byte) (*logScan, error) {
 				s.ranges = s.ranges[:txMark]
 				pendingStart = len(s.muts)
 				s.aborts++
+			case RecEpoch:
+				// A control record, not a mutation: it neither joins nor
+				// disturbs any transaction range (a fence may land
+				// mid-transaction — the pending run around it simply
+				// never commits, because the log refused appends after
+				// it).
+				if rec.Epoch > s.epoch {
+					s.epoch = rec.Epoch
+				}
 			}
 		}
 		off += n

@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"activerules/internal/storage"
+)
+
+// TestFenceRefusesAppends pins the core fencing contract: Fence writes
+// a durable epoch record, every later journal or observer write fails
+// with ErrFenced, and recovery sees both the fence epoch and every
+// durable point from before it.
+func TestFenceRefusesAppends(t *testing.T) {
+	fsys := NewMemFS()
+	d, db := session(t, fsys, "w")
+	db.MustInsert("acct", storage.StringV("ann"), storage.IntV(10))
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	committed := db.Fingerprint()
+
+	if err := d.Fence(5); err != nil {
+		t.Fatalf("Fence: %v", err)
+	}
+	if got := d.Epoch(); got != 5 {
+		t.Errorf("Epoch after fence = %d, want 5", got)
+	}
+	if err := d.Commit(); !errors.Is(err, ErrFenced) {
+		t.Errorf("Commit after fence = %v, want ErrFenced", err)
+	}
+	var fe *FencedError
+	if err := d.Begin(); !errors.As(err, &fe) || fe.Epoch != 5 {
+		t.Errorf("Begin after fence = %v, want *FencedError{5}", err)
+	}
+	// A fence is orderly: Close reports no durability fault.
+	if err := d.Close(); err != nil {
+		t.Errorf("Close of fenced log = %v, want nil", err)
+	}
+
+	db2, info, err := Recover("w", testSchema(t), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 5 {
+		t.Errorf("recovered epoch = %d, want 5", info.Epoch)
+	}
+	if db2.Fingerprint() != committed {
+		t.Errorf("recovered state differs from the pre-fence commit:\n%s", db2)
+	}
+}
+
+// TestFenceOpenEpochDiscipline: Open stamps a higher claimed epoch,
+// adopts an equal one without rewriting it, and refuses a stale one
+// with *FencedError — the reconnecting-deposed-leader case.
+func TestFenceOpenEpochDiscipline(t *testing.T) {
+	fsys := NewMemFS()
+	d, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 3 {
+		t.Errorf("Epoch = %d, want 3", d.Epoch())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 2}); !errors.Is(err, ErrFenced) {
+		t.Errorf("Open at stale epoch 2 = %v, want ErrFenced", err)
+	}
+	var fe *FencedError
+	if _, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 2}); !errors.As(err, &fe) || fe.Epoch != 3 {
+		t.Errorf("stale Open error = %v, want *FencedError{3}", err)
+	}
+
+	// Equal epoch: adopt, serve normally.
+	d2, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 3})
+	if err != nil {
+		t.Fatalf("Open at equal epoch: %v", err)
+	}
+	if d2.Epoch() != 3 {
+		t.Errorf("Epoch = %d, want 3", d2.Epoch())
+	}
+	d2.Close()
+
+	// Higher epoch: stamp and carry forward. Epoch 0 (legacy) adopts.
+	d3, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Epoch() != 7 {
+		t.Errorf("Epoch = %d, want 7", d3.Epoch())
+	}
+	d3.Close()
+	d4, err := Open("w", testSchema(t), Options{FS: fsys})
+	if err != nil {
+		t.Fatalf("epoch-less Open of an epoch-stamped dir: %v", err)
+	}
+	if d4.Epoch() != 7 {
+		t.Errorf("adopted epoch = %d, want 7", d4.Epoch())
+	}
+	d4.Close()
+}
+
+// TestFenceSurvivesCheckpoint: rotation re-stamps the epoch into the
+// new generation's log, so recovery — which reads only the active
+// generation — still refuses a stale claimant after any number of
+// checkpoints.
+func TestFenceSurvivesCheckpoint(t *testing.T) {
+	fsys := NewMemFS()
+	d, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := d.State()
+	db.SetObserver(d)
+	db.MustInsert("acct", storage.StringV("ann"), storage.IntV(10))
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info, err := Recover("w", testSchema(t), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen != 2 || info.Epoch != 4 {
+		t.Errorf("after checkpoint: gen=%d epoch=%d, want gen=2 epoch=4", info.Gen, info.Epoch)
+	}
+	if _, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 3}); !errors.Is(err, ErrFenced) {
+		t.Errorf("stale Open after checkpoint = %v, want ErrFenced", err)
+	}
+}
+
+// TestFenceRequestAppliedAtBoundary: RequestFence from another
+// goroutine takes effect at the next journal boundary, BEFORE its
+// record — the commit that would have extended the deposed history is
+// refused and its mutations never become durable.
+func TestFenceRequestAppliedAtBoundary(t *testing.T) {
+	fsys := NewMemFS()
+	d, db := session(t, fsys, "w")
+	db.MustInsert("acct", storage.StringV("ann"), storage.IntV(10))
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	committed := db.Fingerprint()
+
+	db.MustInsert("acct", storage.StringV("eve"), storage.IntV(666))
+	done := make(chan struct{})
+	go func() {
+		d.RequestFence(9)
+		close(done)
+	}()
+	<-done
+	if err := d.Commit(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Commit with pending fence = %v, want ErrFenced", err)
+	}
+	if err := d.Checkpoint(db); !errors.Is(err, ErrFenced) {
+		t.Errorf("Checkpoint of fenced log = %v, want ErrFenced", err)
+	}
+	d.Close()
+
+	db2, info, err := Recover("w", testSchema(t), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 9 {
+		t.Errorf("recovered epoch = %d, want 9", info.Epoch)
+	}
+	if db2.Fingerprint() != committed {
+		t.Errorf("post-fence mutation became durable:\n%s", db2)
+	}
+
+	// The fence monotone: re-requesting a lower epoch is a no-op.
+	d2, err := Open("w", testSchema(t), Options{FS: fsys, Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.RequestFence(3)
+	if err := d2.Commit(); err != nil {
+		t.Errorf("Commit after lower-epoch request = %v, want nil", err)
+	}
+	d2.Close()
+}

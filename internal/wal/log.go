@@ -1,11 +1,33 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"activerules/internal/storage"
 )
+
+// ErrFenced marks a log that has durably observed a higher leadership
+// epoch: a promoted follower owns the history now, and every append
+// this log would make could fork it. Fencing is sticky like any other
+// log error — journal and observer writes fail with it from the fence
+// on — but it is an orderly refusal, not a durability fault: every byte
+// the log accepted before the fence is safely on disk.
+var ErrFenced = errors.New("wal: fenced by higher epoch")
+
+// FencedError carries the epoch that fenced the log (or refused an
+// Open). It unwraps to ErrFenced.
+type FencedError struct {
+	// Epoch is the higher epoch that was observed.
+	Epoch uint64
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("wal: fenced by epoch %d", e.Epoch)
+}
+
+func (e *FencedError) Unwrap() error { return ErrFenced }
 
 // SyncPolicy selects when the log calls fsync.
 type SyncPolicy int
@@ -56,6 +78,14 @@ type Options struct {
 	// batch larger than this is written out (without fsync) even before
 	// the next commit point. 0 means 256 KiB.
 	BufferBytes int
+	// Epoch is the leadership epoch this session claims. 0 (the
+	// default) adopts whatever epoch the directory already records —
+	// single-node operation never sees epochs at all. A non-zero epoch
+	// is stamped into the log at Open when it exceeds the recovered
+	// epoch; an epoch BELOW the recovered one means the directory has
+	// been fenced by a newer leader, and Open refuses with a
+	// *FencedError — the durable half of split-brain safety.
+	Epoch uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +255,30 @@ func (l *Log) Abort() error {
 	return l.durablePoint(Record{Kind: RecAbort}, true)
 }
 
+// Fence durably records that epoch has been observed and refuses every
+// later append: the epoch record is written and fsynced (regardless of
+// the sync policy — a fence that is not on disk fences nothing), then
+// ErrFenced becomes the log's sticky error. Begin/Commit/Abort and the
+// observer hooks all fail with it afterwards, so a deposed leader
+// cannot extend its history even if its process keeps running. Fencing
+// an already-failed or closed log returns that error unchanged.
+func (l *Log) Fence(epoch uint64) error {
+	if l.closed && l.err == nil {
+		l.err = ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	l.append(Record{Kind: RecEpoch, Epoch: epoch})
+	l.flush()
+	l.sync()
+	if l.err != nil {
+		return l.err
+	}
+	l.err = &FencedError{Epoch: epoch}
+	return nil
+}
+
 // ObserveInsert implements storage.Observer.
 func (l *Log) ObserveInsert(table string, id storage.TupleID, vals []storage.Value) {
 	l.mutations++
@@ -258,6 +312,11 @@ func (l *Log) close() error {
 	l.closed = true
 	if cerr := l.f.Close(); cerr != nil && l.err == nil {
 		l.err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	if errors.Is(l.err, ErrFenced) {
+		// A fence is an orderly refusal, not a durability fault: the
+		// fenced log's bytes — epoch record included — are all on disk.
+		return nil
 	}
 	return l.err
 }

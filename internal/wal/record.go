@@ -58,6 +58,14 @@ const (
 	// content fingerprint of that snapshot, cross-checking that log and
 	// snapshot belong together.
 	RecSnapshot RecordKind = 7
+	// RecEpoch stamps a leadership epoch into the log. It is a control
+	// record, not a mutation: recovery tracks the highest epoch seen
+	// (RecoveryInfo.Epoch) and replay ignores it. A leader writes one at
+	// open to claim its epoch; Fence writes one to durably record that a
+	// higher epoch exists, after which the log refuses appends — the
+	// fencing record that keeps a deposed leader from extending a
+	// history a promoted follower has already forked past.
+	RecEpoch RecordKind = 8
 )
 
 // Record is one decoded log record. Which fields are meaningful depends
@@ -71,6 +79,7 @@ type Record struct {
 	Vals  []storage.Value // insert: row values
 	Gen   uint64          // snapshot marker: generation
 	FP    [32]byte        // snapshot marker: db content fingerprint
+	Epoch uint64          // epoch record: leadership epoch
 }
 
 // String renders the record compactly for diagnostics.
@@ -90,6 +99,8 @@ func (r Record) String() string {
 		return fmt.Sprintf("update %s #%d .%s", r.Table, r.ID, r.Col)
 	case RecSnapshot:
 		return fmt.Sprintf("snapshot gen=%d", r.Gen)
+	case RecEpoch:
+		return fmt.Sprintf("epoch %d", r.Epoch)
 	default:
 		return fmt.Sprintf("record(kind=%d)", byte(r.Kind))
 	}
@@ -151,6 +162,8 @@ func appendPayload(b []byte, rec Record) []byte {
 	case RecSnapshot:
 		b = binary.AppendUvarint(b, rec.Gen)
 		b = append(b, rec.FP[:]...)
+	case RecEpoch:
+		b = binary.AppendUvarint(b, rec.Epoch)
 	}
 	return b
 }
@@ -212,6 +225,8 @@ func decodePayload(p []byte) (Record, error) {
 	case RecSnapshot:
 		rec.Gen = d.uvarint()
 		copy(rec.FP[:], d.take(32))
+	case RecEpoch:
+		rec.Epoch = d.uvarint()
 	default:
 		return rec, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, byte(rec.Kind))
 	}

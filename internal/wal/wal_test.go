@@ -33,6 +33,7 @@ func allKinds() []Record {
 		{Kind: RecUpdate, Table: "acct", ID: 9, Col: "owner", Val: storage.Null},
 		{Kind: RecUpdate, Table: "x", ID: 1, Col: "f", Val: storage.FloatV(2.5)},
 		{Kind: RecSnapshot, Gen: 42, FP: [32]byte{1, 2, 3}},
+		{Kind: RecEpoch, Epoch: 12345},
 	}
 }
 
